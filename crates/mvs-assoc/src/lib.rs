@@ -1,0 +1,31 @@
+//! Cross-camera object association (Sec. II-C of the paper).
+//!
+//! Identifies the *common objects* seen by multiple cameras so that the
+//! scheduler can assign each physical object to exactly one camera. Because
+//! camera view angles differ by up to 180°, plain homography fails; the
+//! paper instead fits two data-driven models per ordered camera pair:
+//!
+//! 1. a **KNN classifier** deciding whether a bounding box seen by camera
+//!    `i` is visible in camera `i'` at all, and
+//! 2. a **KNN regressor** predicting *where* in camera `i'` it lands.
+//!
+//! Predicted boxes are then matched against actual detections in `i'` by
+//! IoU proximity via the Hungarian algorithm, and matches are merged into
+//! global identities with a union-find.
+//!
+//! * [`CameraPairModel`] — the classifier+regressor bundle for one pair;
+//! * [`train_pair_model`] — fits a pair model from labeled correspondences;
+//! * [`AssociationEngine`] — runs a full association round over all
+//!   cameras' detections and returns the global object list;
+//! * [`UnionFind`] — the identity-merging substrate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod model;
+mod union_find;
+
+pub use engine::{AssociationEngine, GlobalObject};
+pub use model::{train_pair_model, CameraPairModel, CorrespondenceSample};
+pub use union_find::UnionFind;

@@ -1,0 +1,178 @@
+//! Per-camera-pair visibility classifier and location regressor.
+
+use mvs_geometry::BBox;
+use mvs_ml::{Classifier, KnnClassifier, KnnRegressor, MlError, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// One labeled training sample for a (source → target) camera pair: an
+/// object's box in the source camera and, when it is also visible in the
+/// target camera, its box there.
+///
+/// In the paper these labels come from human annotation of the deployment
+/// (with ReID-assisted labeling listed as future work); in this workspace
+/// the simulator provides them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrespondenceSample {
+    /// Bounding box in the source camera.
+    pub src: BBox,
+    /// Bounding box in the target camera, or `None` when not visible there.
+    pub dst: Option<BBox>,
+}
+
+/// The fitted models for one ordered camera pair (source → target).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CameraPairModel {
+    classifier: KnnClassifier,
+    regressor: Option<KnnRegressor>,
+}
+
+impl CameraPairModel {
+    /// Predicts the target-camera bounding box for a source-camera box:
+    /// `None` when the classifier says the object is not visible there (or
+    /// no regressor could be trained for this pair).
+    pub fn predict(&self, src: &BBox) -> Option<BBox> {
+        let features = src.to_array().to_vec();
+        if self.classifier.predict(&features) == 0 {
+            return None;
+        }
+        let regressor = self.regressor.as_ref()?;
+        let coords = regressor.predict(&features);
+        BBox::from_array_lenient([coords[0], coords[1], coords[2], coords[3]]).ok()
+    }
+
+    /// Whether the pair ever observed a positive correspondence (i.e. has a
+    /// usable regressor).
+    pub fn has_regressor(&self) -> bool {
+        self.regressor.is_some()
+    }
+}
+
+/// Fits a [`CameraPairModel`] from labeled correspondences.
+///
+/// The classifier trains on all samples (visible vs. not); the regressor
+/// trains on the visible subset only. Pairs whose views never overlap get
+/// a classifier-only model that always predicts "not visible".
+///
+/// # Errors
+///
+/// Returns [`MlError::EmptyTrainingSet`] for empty input and propagates
+/// invalid `k`.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_assoc::{train_pair_model, CorrespondenceSample};
+/// use mvs_geometry::BBox;
+///
+/// // Target view shifts boxes 100 px right.
+/// let samples: Vec<CorrespondenceSample> = (0..20).map(|i| {
+///     let x = 50.0 + 10.0 * i as f64;
+///     CorrespondenceSample {
+///         src: BBox::new(x, 100.0, x + 40.0, 140.0).unwrap(),
+///         dst: Some(BBox::new(x + 100.0, 100.0, x + 140.0, 140.0).unwrap()),
+///     }
+/// }).collect();
+/// let model = train_pair_model(3, &samples)?;
+/// let probe = BBox::new(95.0, 100.0, 135.0, 140.0).unwrap();
+/// let mapped = model.predict(&probe).unwrap();
+/// assert!((mapped.x1() - 195.0).abs() < 20.0);
+/// # Ok::<(), mvs_ml::MlError>(())
+/// ```
+pub fn train_pair_model(
+    k: usize,
+    samples: &[CorrespondenceSample],
+) -> Result<CameraPairModel, MlError> {
+    if samples.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.src.to_array().to_vec()).collect();
+    let labels: Vec<usize> = samples
+        .iter()
+        .map(|s| usize::from(s.dst.is_some()))
+        .collect();
+    let classifier = KnnClassifier::fit(k, &xs, &labels)?;
+    let pos: Vec<&CorrespondenceSample> = samples.iter().filter(|s| s.dst.is_some()).collect();
+    let regressor = if pos.is_empty() {
+        None
+    } else {
+        let rx: Vec<Vec<f64>> = pos.iter().map(|s| s.src.to_array().to_vec()).collect();
+        let ry: Vec<Vec<f64>> = pos
+            .iter()
+            .map(|s| s.dst.expect("filtered to visible").to_array().to_vec())
+            .collect();
+        Some(KnnRegressor::fit(k, &rx, &ry)?)
+    };
+    Ok(CameraPairModel {
+        classifier,
+        regressor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f64, y: f64, w: f64, h: f64) -> BBox {
+        BBox::new(x, y, x + w, y + h).unwrap()
+    }
+
+    /// Overlap only in the right half of the source view; mapped boxes are
+    /// mirrored horizontally (a 180° opposing camera).
+    fn mirrored_overlap_samples() -> Vec<CorrespondenceSample> {
+        let mut out = Vec::new();
+        for i in 0..40 {
+            let x = 20.0 + 30.0 * i as f64 % 1200.0;
+            let src = bb(x, 200.0, 60.0, 50.0);
+            let dst = if x > 600.0 {
+                Some(bb(1280.0 - x - 60.0, 210.0, 60.0, 50.0))
+            } else {
+                None
+            };
+            out.push(CorrespondenceSample { src, dst });
+        }
+        out
+    }
+
+    #[test]
+    fn classifier_learns_overlap_region() {
+        let model = train_pair_model(3, &mirrored_overlap_samples()).unwrap();
+        // Deep in the non-overlap region → not visible.
+        assert!(model.predict(&bb(100.0, 200.0, 60.0, 50.0)).is_none());
+        // Deep in the overlap region → visible with a mirrored location.
+        let mapped = model.predict(&bb(1000.0, 200.0, 60.0, 50.0));
+        assert!(mapped.is_some());
+    }
+
+    #[test]
+    fn regressor_learns_nonlinear_mirror() {
+        let model = train_pair_model(3, &mirrored_overlap_samples()).unwrap();
+        let mapped = model.predict(&bb(900.0, 200.0, 60.0, 50.0)).unwrap();
+        // Mirror of x=900 is 1280-900-60 = 320.
+        assert!(
+            (mapped.x1() - 320.0).abs() < 120.0,
+            "mapped.x1 = {}",
+            mapped.x1()
+        );
+    }
+
+    #[test]
+    fn disjoint_views_yield_classifier_only_model() {
+        let samples: Vec<CorrespondenceSample> = (0..10)
+            .map(|i| CorrespondenceSample {
+                src: bb(50.0 * i as f64, 100.0, 40.0, 40.0),
+                dst: None,
+            })
+            .collect();
+        let model = train_pair_model(3, &samples).unwrap();
+        assert!(!model.has_regressor());
+        assert!(model.predict(&bb(100.0, 100.0, 40.0, 40.0)).is_none());
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        assert!(matches!(
+            train_pair_model(3, &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+}

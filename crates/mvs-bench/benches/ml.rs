@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the ML toolbox: Hungarian matching at
+//! tracker-realistic sizes, KNN queries at association-realistic training
+//! sizes, and homography estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvs_geometry::Point2;
+use mvs_ml::{estimate_homography, hungarian, Classifier, KnnClassifier, KnnRegressor, Regressor};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[5usize, 20, 50] {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
+            b.iter(|| hungarian(black_box(cost)).expect("finite costs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let n_train = 5_000;
+    let xs: Vec<Vec<f64>> = (0..n_train)
+        .map(|_| (0..4).map(|_| rng.gen_range(0.0..1280.0)).collect())
+        .collect();
+    let labels: Vec<usize> = (0..n_train).map(|i| i % 2).collect();
+    let targets: Vec<Vec<f64>> = xs.to_vec();
+    let classifier = KnnClassifier::fit(3, &xs, &labels).expect("valid data");
+    let regressor = KnnRegressor::fit(3, &xs, &targets).expect("valid data");
+    let query = [640.0, 350.0, 720.0, 410.0];
+    c.bench_function("knn_classify_5k", |b| {
+        b.iter(|| classifier.predict(black_box(&query)))
+    });
+    c.bench_function("knn_regress_5k", |b| {
+        b.iter(|| regressor.predict(black_box(&query)))
+    });
+}
+
+fn bench_homography(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let src: Vec<Point2> = (0..100)
+        .map(|_| Point2::new(rng.gen_range(0.0..1280.0), rng.gen_range(0.0..704.0)))
+        .collect();
+    let dst: Vec<Point2> = src
+        .iter()
+        .map(|p| Point2::new(p.x * 1.02 + 30.0, p.y * 0.98 - 10.0))
+        .collect();
+    c.bench_function("homography_100pts", |b| {
+        b.iter(|| estimate_homography(black_box(&src), black_box(&dst)).expect("well-posed"))
+    });
+}
+
+criterion_group!(benches, bench_hungarian, bench_knn, bench_homography);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmarks for the end-to-end pipeline building blocks:
+//! world stepping, camera projection, flow estimation + tracking, and a
+//! short full-pipeline run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvs_sim::{run_pipeline, Algorithm, PipelineConfig, Scenario, ScenarioKind};
+use mvs_vision::{slice_regions, FlowField, FlowTracker, TrackerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_world_step(c: &mut Criterion) {
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut world = scenario.warmed_world(60.0, &mut rng);
+    c.bench_function("world_step_s1", |b| {
+        b.iter(|| world.step(black_box(0.1), &mut rng))
+    });
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let world = scenario.warmed_world(60.0, &mut rng);
+    let camera = &scenario.cameras[0];
+    c.bench_function("visible_objects_s1", |b| {
+        b.iter(|| camera.visible_objects(black_box(&world), scenario.occlusion_threshold))
+    });
+}
+
+fn bench_flow_and_tracking(c: &mut Criterion) {
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut world = scenario.warmed_world(60.0, &mut rng);
+    let camera = &scenario.cameras[0];
+    let prev = camera.visible_objects(&world, scenario.occlusion_threshold);
+    world.step(0.1, &mut rng);
+    let curr = camera.visible_objects(&world, scenario.occlusion_threshold);
+    c.bench_function("flow_estimate", |b| {
+        b.iter(|| FlowField::estimate(black_box(&prev), black_box(&curr), 1.0, &mut rng))
+    });
+    let flow = FlowField::estimate(&prev, &curr, 1.0, &mut rng);
+    let mut tracker = FlowTracker::new(TrackerConfig::default(), camera.frame);
+    for g in &prev {
+        tracker.seed(g.bbox, Some(g.id));
+    }
+    c.bench_function("tracker_predict_and_slice", |b| {
+        b.iter(|| {
+            let mut t = tracker.clone();
+            t.predict(black_box(&flow));
+            slice_regions(t.tracks(), camera.frame)
+        })
+    });
+}
+
+fn bench_short_pipeline(c: &mut Criterion) {
+    // A deliberately short run (cheap scenario, short spans) so the bench
+    // finishes in seconds while still covering the full code path.
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let config = PipelineConfig {
+        train_s: 20.0,
+        eval_s: 10.0,
+        ..PipelineConfig::paper_default(Algorithm::Balb)
+    };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("balb_s2_10s", |b| {
+        b.iter(|| run_pipeline(black_box(&scenario), black_box(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_step,
+    bench_projection,
+    bench_flow_and_tracking,
+    bench_short_pipeline
+);
+criterion_main!(benches);

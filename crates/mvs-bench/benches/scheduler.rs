@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the scheduling core: BALB central stage
+//! throughput versus instance size, the exact solver on small instances,
+//! and the assignment latency arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvs_core::{balb_central, baselines, exact, MvsProblem, ProblemConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_balb_central(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balb_central");
+    for &(m, n) in &[(3usize, 10usize), (5, 50), (5, 200), (10, 500)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let problem = MvsProblem::random(&mut rng, m, n, &ProblemConfig::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("M{m}_N{n}")),
+            &problem,
+            |b, p| b.iter(|| balb_central(black_box(p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_small(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let problem = MvsProblem::random(&mut rng, 3, 8, &ProblemConfig::default());
+    c.bench_function("exact_M3_N8", |b| {
+        b.iter(|| exact::solve(black_box(&problem), true, 100_000_000).expect("within budget"))
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let problem = MvsProblem::random(&mut rng, 5, 100, &ProblemConfig::default());
+    c.bench_function("static_partition_N100", |b| {
+        b.iter(|| baselines::static_partition_by_id(black_box(&problem)))
+    });
+    let schedule = balb_central(&problem);
+    c.bench_function("system_latency_N100", |b| {
+        b.iter(|| {
+            schedule
+                .assignment
+                .system_latency_ms(black_box(&problem), true)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_balb_central,
+    bench_exact_small,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Ablations beyond the paper's figures (design-choice validation):
+//!
+//! 1. **BALB vs exact** — approximation quality of the greedy central
+//!    stage against a branch-and-bound optimum on random MVS instances.
+//! 2. **Batch-awareness** — BALB with batching disabled (`B ≡ 1`),
+//!    isolating how much of the speedup comes from GPU batching.
+//! 3. **SP model sensitivity** — SP with learned masks vs SP granted
+//!    oracle world geometry, isolating how much of SP's deficit is
+//!    correlation-model error.
+//!
+//! Run with `cargo run --release -p mvs-bench --bin ablation_balb`.
+
+use mvs_bench::{experiment_config, write_json, SCENARIOS, SEED};
+use mvs_core::{balb_central, exact, MvsProblem, ProblemConfig};
+use mvs_metrics::TextTable;
+use mvs_sim::{run_pipeline, Algorithm, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationReport {
+    approx: Vec<ApproxRow>,
+    batching: Vec<BatchRow>,
+    sp_oracle: Vec<SpRow>,
+}
+
+#[derive(Serialize)]
+struct ApproxRow {
+    cameras: usize,
+    objects: usize,
+    with_full_frame: bool,
+    instances: usize,
+    optimal_hits: usize,
+    mean_ratio: f64,
+    worst_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct BatchRow {
+    scenario: String,
+    with_batching_ms: f64,
+    without_batching_ms: f64,
+    batching_gain: f64,
+}
+
+#[derive(Serialize)]
+struct SpRow {
+    scenario: String,
+    sp_ms: f64,
+    sp_recall: f64,
+    sp_oracle_ms: f64,
+    sp_oracle_recall: f64,
+}
+
+fn main() {
+    // 1. Approximation quality.
+    println!("Ablation 1 — BALB central stage vs exact optimum\n");
+    let mut approx_table = TextTable::new(vec![
+        "M",
+        "N",
+        "t_full floor",
+        "instances",
+        "optimal",
+        "mean ratio",
+        "worst ratio",
+    ]);
+    let mut approx = Vec::new();
+    // With the t^full floor (the paper's objective) the slowest camera's
+    // full-frame time often dominates; without it the pure balancing
+    // quality of the greedy stage is exposed.
+    for &with_full in &[true, false] {
+        for &(m, n) in &[(2usize, 8usize), (3, 9), (4, 10), (5, 8)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+            let mut hits = 0;
+            let mut ratios = Vec::new();
+            let instances = 30;
+            for _ in 0..instances {
+                let p = MvsProblem::random(&mut rng, m, n, &ProblemConfig::default());
+                let opt = exact::solve(&p, with_full, 50_000_000).expect("instance within budget");
+                let balb = balb_central(&p).assignment.system_latency_ms(&p, with_full);
+                let ratio = balb / opt.system_latency_ms;
+                if ratio < 1.0 + 1e-9 {
+                    hits += 1;
+                }
+                ratios.push(ratio);
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let worst = ratios.iter().fold(1.0_f64, |a, &b| a.max(b));
+            approx_table.row(vec![
+                m.to_string(),
+                n.to_string(),
+                with_full.to_string(),
+                instances.to_string(),
+                format!("{hits}/{instances}"),
+                format!("{mean:.3}"),
+                format!("{worst:.3}"),
+            ]);
+            approx.push(ApproxRow {
+                cameras: m,
+                objects: n,
+                with_full_frame: with_full,
+                instances,
+                optimal_hits: hits,
+                mean_ratio: mean,
+                worst_ratio: worst,
+            });
+        }
+    }
+    println!("{approx_table}");
+
+    // 2. Batching contribution.
+    println!("Ablation 2 — batch-awareness contribution (BALB)\n");
+    let mut batch_table = TextTable::new(vec!["scenario", "batched", "B=1", "gain"]);
+    let mut batching = Vec::new();
+    for kind in SCENARIOS {
+        let scenario = Scenario::new(kind);
+        let with = run_pipeline(&scenario, &experiment_config(Algorithm::Balb));
+        let mut config = experiment_config(Algorithm::Balb);
+        config.disable_batching = true;
+        let without = run_pipeline(&scenario, &config);
+        let gain = without.mean_latency_ms / with.mean_latency_ms;
+        batch_table.row(vec![
+            kind.to_string(),
+            format!("{:.1} ms", with.mean_latency_ms),
+            format!("{:.1} ms", without.mean_latency_ms),
+            format!("{gain:.2}x"),
+        ]);
+        batching.push(BatchRow {
+            scenario: kind.to_string(),
+            with_batching_ms: with.mean_latency_ms,
+            without_batching_ms: without.mean_latency_ms,
+            batching_gain: gain,
+        });
+    }
+    println!("{batch_table}");
+
+    // 3. SP model sensitivity.
+    println!("Ablation 3 — SP with learned masks vs oracle geometry\n");
+    let mut sp_table = TextTable::new(vec![
+        "scenario",
+        "SP (learned)",
+        "recall",
+        "SP (oracle)",
+        "recall",
+    ]);
+    let mut sp_oracle = Vec::new();
+    for kind in SCENARIOS {
+        let scenario = Scenario::new(kind);
+        let sp = run_pipeline(&scenario, &experiment_config(Algorithm::StaticPartition));
+        let oracle = run_pipeline(
+            &scenario,
+            &experiment_config(Algorithm::StaticPartitionOracle),
+        );
+        sp_table.row(vec![
+            kind.to_string(),
+            format!("{:.1} ms", sp.mean_latency_ms),
+            format!("{:.3}", sp.recall),
+            format!("{:.1} ms", oracle.mean_latency_ms),
+            format!("{:.3}", oracle.recall),
+        ]);
+        sp_oracle.push(SpRow {
+            scenario: kind.to_string(),
+            sp_ms: sp.mean_latency_ms,
+            sp_recall: sp.recall,
+            sp_oracle_ms: oracle.mean_latency_ms,
+            sp_oracle_recall: oracle.recall,
+        });
+    }
+    println!("{sp_table}");
+
+    let path = write_json(
+        "ablation_balb",
+        &AblationReport {
+            approx,
+            batching,
+            sp_oracle,
+        },
+    );
+    println!("wrote {}", path.display());
+}

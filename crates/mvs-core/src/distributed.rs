@@ -1,0 +1,155 @@
+//! The distributed stage of BALB.
+//!
+//! Between key frames, cameras cannot afford per-frame communication with
+//! the central scheduler, so assignment updates for *new* objects and
+//! *departed* objects follow fixed, self-organizing policies derived from
+//! the central stage's latency order (Sec. III-C2):
+//!
+//! * A new object is tracked by the highest-priority camera whose mask owns
+//!   the cell where it appeared.
+//! * When an object leaves its assigned camera's view, the highest-priority
+//!   camera that still sees it takes over.
+//!
+//! All cameras reach the same decisions without talking to each other
+//! because they share the priority order and the (synchronized) masks.
+
+use crate::{BalbSchedule, CameraId};
+use serde::{Deserialize, Serialize};
+
+/// The fixed per-horizon policy each camera runs locally at regular frames.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_core::{CameraId, DistributedPolicy};
+///
+/// let policy = DistributedPolicy::new(vec![CameraId(2), CameraId(0), CameraId(1)]);
+/// // Camera 2 has the highest priority (lowest central-stage latency).
+/// assert_eq!(policy.rank(CameraId(2)), 0);
+/// // Takeover: the highest-priority camera among those still seeing the
+/// // object wins.
+/// assert_eq!(
+///     policy.select_owner([CameraId(0), CameraId(1)]),
+///     Some(CameraId(0))
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributedPolicy {
+    /// Cameras in decreasing priority (increasing central-stage latency).
+    priority: Vec<CameraId>,
+}
+
+impl DistributedPolicy {
+    /// Builds a policy from an explicit priority order (highest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order is empty or contains duplicates.
+    pub fn new(priority: Vec<CameraId>) -> Self {
+        assert!(!priority.is_empty(), "priority order must be non-empty");
+        let mut seen = priority.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            priority.len(),
+            "priority order must not contain duplicates"
+        );
+        DistributedPolicy { priority }
+    }
+
+    /// Extracts the policy from a central-stage schedule.
+    pub fn from_schedule(schedule: &BalbSchedule) -> Self {
+        DistributedPolicy::new(schedule.priority.clone())
+    }
+
+    /// The priority order, highest first.
+    pub fn priority(&self) -> &[CameraId] {
+        &self.priority
+    }
+
+    /// Rank of a camera (0 = highest priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the camera is not in the order.
+    pub fn rank(&self, camera: CameraId) -> usize {
+        self.priority
+            .iter()
+            .position(|&c| c == camera)
+            .expect("camera must appear in the priority order")
+    }
+
+    /// Selects the owner for an object given the cameras currently able to
+    /// see it: the highest-priority member of the coverage set. Returns
+    /// `None` for an empty coverage set (the object is lost to all views).
+    pub fn select_owner<I: IntoIterator<Item = CameraId>>(&self, coverage: I) -> Option<CameraId> {
+        coverage.into_iter().min_by_key(|&c| self.rank(c))
+    }
+
+    /// Convenience for the per-camera decision: should `myself` start
+    /// tracking an object with this coverage set? True iff `myself` is the
+    /// selected owner. Every camera evaluating this on the same coverage
+    /// set reaches a consistent answer.
+    pub fn should_track<I: IntoIterator<Item = CameraId>>(
+        &self,
+        myself: CameraId,
+        coverage: I,
+    ) -> bool {
+        self.select_owner(coverage) == Some(myself)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> DistributedPolicy {
+        DistributedPolicy::new(vec![CameraId(1), CameraId(2), CameraId(0)])
+    }
+
+    #[test]
+    fn ranks_follow_order() {
+        let p = policy();
+        assert_eq!(p.rank(CameraId(1)), 0);
+        assert_eq!(p.rank(CameraId(2)), 1);
+        assert_eq!(p.rank(CameraId(0)), 2);
+    }
+
+    #[test]
+    fn owner_is_highest_priority_in_coverage() {
+        let p = policy();
+        assert_eq!(
+            p.select_owner([CameraId(0), CameraId(2)]),
+            Some(CameraId(2))
+        );
+        assert_eq!(p.select_owner([CameraId(0)]), Some(CameraId(0)));
+        assert_eq!(p.select_owner([]), None);
+    }
+
+    #[test]
+    fn should_track_is_consistent_across_cameras() {
+        let p = policy();
+        let coverage = [CameraId(0), CameraId(1), CameraId(2)];
+        let trackers: Vec<CameraId> = coverage
+            .iter()
+            .copied()
+            .filter(|&c| p.should_track(c, coverage))
+            .collect();
+        // Exactly one camera decides to track, and it is the top-priority
+        // one — the self-organized consistency property.
+        assert_eq!(trackers, vec![CameraId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain duplicates")]
+    fn rejects_duplicate_cameras() {
+        DistributedPolicy::new(vec![CameraId(0), CameraId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_order() {
+        DistributedPolicy::new(vec![]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Exact branch-and-bound solver for small MVS instances.
+//!
+//! The MVS problem is strongly NP-hard (Claim 1), so this solver is not
+//! part of the online pipeline; it exists to measure BALB's approximation
+//! quality on instances small enough to solve optimally (the
+//! `balb_vs_exact` ablation bench) and to anchor property tests.
+
+use crate::{Assignment, CameraId, MvsProblem, ObjectId};
+use mvs_vision::SizeCounts;
+
+/// Outcome of an exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactSolution {
+    /// An optimal feasible single-owner assignment.
+    pub assignment: Assignment,
+    /// Its system latency (ms), including the `t^full` initialization when
+    /// requested.
+    pub system_latency_ms: f64,
+    /// Number of search nodes expanded.
+    pub nodes: u64,
+}
+
+/// Error returned when an instance exceeds the solver's budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The node budget that was exhausted.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exact solver exceeded its budget of {} nodes",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Solves the MVS instance to optimality by depth-first branch and bound.
+///
+/// Objects are expanded in BALB's order (smallest coverage first) so the
+/// deterministic prefix is fixed early; the incumbent is initialized from
+/// a greedy pass so pruning bites immediately. `include_full_frame`
+/// matches the corresponding [`Assignment::system_latency_ms`] flag.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when more than `node_budget` nodes would be
+/// expanded — callers choose how much work an instance is worth.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_core::{exact, balb_central, MvsProblem, ProblemConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let p = MvsProblem::random(&mut rng, 3, 8, &ProblemConfig::default());
+/// let opt = exact::solve(&p, true, 1_000_000)?;
+/// let balb = balb_central(&p);
+/// assert!(opt.system_latency_ms <= balb.system_latency_ms() + 1e-9);
+/// # Ok::<(), mvs_core::exact::BudgetExceeded>(())
+/// ```
+pub fn solve(
+    problem: &MvsProblem,
+    include_full_frame: bool,
+    node_budget: u64,
+) -> Result<ExactSolution, BudgetExceeded> {
+    let m = problem.num_cameras();
+    let n = problem.num_objects();
+
+    // Same object order as BALB: least flexible first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let oa = &problem.objects()[a];
+        let ob = &problem.objects()[b];
+        oa.coverage_len()
+            .cmp(&ob.coverage_len())
+            .then(ob.max_size().cmp(&oa.max_size()))
+            .then(a.cmp(&b))
+    });
+
+    let base: Vec<f64> = (0..m)
+        .map(|i| {
+            if include_full_frame {
+                problem.profile(CameraId(i)).full_frame_ms()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    // Incumbent from BALB (a feasible upper bound).
+    let greedy = crate::balb_central(problem);
+    let mut best_assignment = greedy.assignment.clone();
+    let mut best = greedy
+        .assignment
+        .system_latency_ms(problem, include_full_frame);
+
+    struct Ctx<'a> {
+        problem: &'a MvsProblem,
+        order: &'a [usize],
+        base: &'a [f64],
+        nodes: u64,
+        budget: u64,
+        best: f64,
+        best_choice: Vec<CameraId>,
+        exhausted: bool,
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, depth: usize, counts: &mut [SizeCounts], choice: &mut Vec<CameraId>) {
+        if ctx.exhausted {
+            return;
+        }
+        ctx.nodes += 1;
+        if ctx.nodes > ctx.budget {
+            ctx.exhausted = true;
+            return;
+        }
+        let current_max = (0..counts.len())
+            .map(|i| ctx.base[i] + counts[i].latency_ms(ctx.problem.profile(CameraId(i))))
+            .fold(0.0, f64::max);
+        if current_max >= ctx.best - 1e-9 {
+            return; // prune: cannot improve
+        }
+        if depth == ctx.order.len() {
+            ctx.best = current_max;
+            ctx.best_choice = choice.clone();
+            return;
+        }
+        let j = ctx.order[depth];
+        let object = &ctx.problem.objects()[j];
+        // Branch over covering cameras, cheapest projected latency first.
+        let mut branches: Vec<(CameraId, f64)> = object
+            .coverage()
+            .map(|c| {
+                let s = object.size_on(c).expect("covered");
+                let mut tmp = counts[c.0];
+                tmp.add(s);
+                (c, ctx.base[c.0] + tmp.latency_ms(ctx.problem.profile(c)))
+            })
+            .collect();
+        branches.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        for (c, _) in branches {
+            let s = object.size_on(c).expect("covered");
+            counts[c.0].add(s);
+            choice.push(c);
+            dfs(ctx, depth + 1, counts, choice);
+            choice.pop();
+            counts[c.0].remove(s);
+        }
+    }
+
+    let mut ctx = Ctx {
+        problem,
+        order: &order,
+        base: &base,
+        nodes: 0,
+        budget: node_budget,
+        best,
+        best_choice: Vec::new(),
+        exhausted: false,
+    };
+    let mut counts = vec![SizeCounts::new(); m];
+    let mut choice = Vec::with_capacity(n);
+    dfs(&mut ctx, 0, &mut counts, &mut choice);
+    if ctx.exhausted {
+        return Err(BudgetExceeded {
+            budget: node_budget,
+        });
+    }
+    let nodes = ctx.nodes;
+    if !ctx.best_choice.is_empty() {
+        let mut a = Assignment::empty(n);
+        for (depth, &c) in ctx.best_choice.iter().enumerate() {
+            a.assign(ObjectId(order[depth]), c);
+        }
+        best = ctx.best;
+        best_assignment = a;
+    }
+    Ok(ExactSolution {
+        assignment: best_assignment,
+        system_latency_ms: best,
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{balb_central, CameraInfo, ObjectInfo, ProblemConfig};
+    use mvs_geometry::SizeClass;
+    use mvs_vision::{DeviceKind, LatencyProfile};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn optimal_never_exceeds_balb() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for _ in 0..15 {
+            let p = MvsProblem::random(&mut rng, 3, 9, &ProblemConfig::default());
+            let opt = solve(&p, true, 10_000_000).unwrap();
+            let balb = balb_central(&p);
+            assert!(opt.assignment.is_feasible(&p));
+            assert!(
+                opt.system_latency_ms <= balb.system_latency_ms() + 1e-9,
+                "opt {} > balb {}",
+                opt.system_latency_ms,
+                balb.system_latency_ms()
+            );
+            // Reported latency matches the assignment's recomputation.
+            let recomputed = opt.assignment.system_latency_ms(&p, true);
+            assert!((recomputed - opt.system_latency_ms).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_tiny_instance() {
+        // 2 cameras, 3 objects all shared: 8 assignments, check by hand.
+        let cameras = vec![
+            CameraInfo {
+                id: CameraId(0),
+                profile: LatencyProfile::for_device(DeviceKind::Xavier),
+            },
+            CameraInfo {
+                id: CameraId(1),
+                profile: LatencyProfile::for_device(DeviceKind::Tx2),
+            },
+        ];
+        let objects: Vec<ObjectInfo> = (0..3)
+            .map(|j| {
+                let mut sizes = BTreeMap::new();
+                sizes.insert(CameraId(0), SizeClass::S512);
+                sizes.insert(CameraId(1), SizeClass::S512);
+                ObjectInfo {
+                    id: ObjectId(j),
+                    sizes,
+                }
+            })
+            .collect();
+        let p = MvsProblem::new(cameras, objects).unwrap();
+        let opt = solve(&p, false, 1_000_000).unwrap();
+        // Xavier S512: 67 ms per batch of up to 2; TX2 S512: 92 ms per
+        // batch of 1. All on the Xavier costs two batches (134 ms); the
+        // optimum puts two objects in one Xavier batch (67 ms) and one on
+        // the TX2 (92 ms) → system latency 92 ms.
+        assert!((opt.system_latency_ms - 92.0).abs() < 1e-9);
+        let on_xavier = (0..3)
+            .filter(|&j| opt.assignment.sole_owner(ObjectId(j)) == Some(CameraId(0)))
+            .count();
+        assert_eq!(on_xavier, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = MvsProblem::random(
+            &mut rng,
+            4,
+            20,
+            &ProblemConfig {
+                overlap_prob: 0.9,
+                ..Default::default()
+            },
+        );
+        // Without the t^full floor the incumbent cannot prune the root, so
+        // a 10-node budget must be exhausted on a 20-object instance.
+        assert_eq!(solve(&p, false, 10), Err(BudgetExceeded { budget: 10 }));
+    }
+
+    #[test]
+    fn deterministic_objects_fix_the_solution() {
+        // Every object visible from exactly one camera: only one feasible
+        // assignment exists and the solver must return it.
+        let cameras = vec![
+            CameraInfo {
+                id: CameraId(0),
+                profile: LatencyProfile::for_device(DeviceKind::Nano),
+            },
+            CameraInfo {
+                id: CameraId(1),
+                profile: LatencyProfile::for_device(DeviceKind::Nano),
+            },
+        ];
+        let objects: Vec<ObjectInfo> = (0..4)
+            .map(|j| {
+                let mut sizes = BTreeMap::new();
+                sizes.insert(CameraId(j % 2), SizeClass::S128);
+                ObjectInfo {
+                    id: ObjectId(j),
+                    sizes,
+                }
+            })
+            .collect();
+        let p = MvsProblem::new(cameras, objects).unwrap();
+        let opt = solve(&p, false, 100_000).unwrap();
+        for j in 0..4 {
+            assert_eq!(
+                opt.assignment.sole_owner(ObjectId(j)),
+                Some(CameraId(j % 2))
+            );
+        }
+    }
+
+    #[test]
+    fn balb_is_often_optimal_on_small_instances() {
+        // Not a guarantee, but the approximation should match the optimum
+        // on a healthy fraction of small instances.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut optimal_hits = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let p = MvsProblem::random(&mut rng, 3, 8, &ProblemConfig::default());
+            let opt = solve(&p, true, 10_000_000).unwrap();
+            let balb = balb_central(&p);
+            if (balb.system_latency_ms() - opt.system_latency_ms).abs() < 1e-9 {
+                optimal_hits += 1;
+            }
+        }
+        assert!(
+            optimal_hits >= trials / 2,
+            "BALB optimal on only {optimal_hits}/{trials} instances"
+        );
+    }
+}

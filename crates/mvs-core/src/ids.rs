@@ -1,0 +1,59 @@
+//! Identifier newtypes for cameras and objects.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense index of a camera within an [`MvsProblem`](crate::MvsProblem).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CameraId(pub usize);
+
+impl fmt::Display for CameraId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for CameraId {
+    fn from(i: usize) -> Self {
+        CameraId(i)
+    }
+}
+
+/// Dense index of a physical object within an
+/// [`MvsProblem`](crate::MvsProblem) (a *global* identity spanning all
+/// cameras, produced by cross-camera association).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub usize);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<usize> for ObjectId {
+    fn from(i: usize) -> Self {
+        ObjectId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CameraId(3).to_string(), "c3");
+        assert_eq!(ObjectId(11).to_string(), "o11");
+    }
+
+    #[test]
+    fn conversions_and_ordering() {
+        assert_eq!(CameraId::from(2), CameraId(2));
+        assert!(ObjectId(1) < ObjectId(2));
+    }
+}

@@ -1,0 +1,344 @@
+//! The MVS task model (Sec. III-A) and a random-instance generator.
+
+use crate::{CameraId, ObjectId};
+use mvs_geometry::SizeClass;
+use mvs_vision::{DeviceKind, LatencyProfile};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One camera of the deployment: its identity and profiled device speed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraInfo {
+    /// Dense camera index.
+    pub id: CameraId,
+    /// Offline-profiled latency table of the onboard GPU.
+    pub profile: LatencyProfile,
+}
+
+/// One physical object: the cameras that can see it and its quantized crop
+/// size on each of them (`s_ij` — sizes differ across cameras because of
+/// perspective).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectInfo {
+    /// Dense object index (global identity after cross-camera association).
+    pub id: ObjectId,
+    /// Target crop size per covering camera. The key set *is* the coverage
+    /// set `C_j`.
+    pub sizes: BTreeMap<CameraId, SizeClass>,
+}
+
+impl ObjectInfo {
+    /// The coverage set `C_j`: cameras that can see this object.
+    pub fn coverage(&self) -> impl Iterator<Item = CameraId> + '_ {
+        self.sizes.keys().copied()
+    }
+
+    /// Number of cameras that can see this object.
+    pub fn coverage_len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether `camera` can see this object.
+    pub fn covered_by(&self, camera: CameraId) -> bool {
+        self.sizes.contains_key(&camera)
+    }
+
+    /// Crop size on `camera`, if covered.
+    pub fn size_on(&self, camera: CameraId) -> Option<SizeClass> {
+        self.sizes.get(&camera).copied()
+    }
+
+    /// The largest crop size over the coverage set (used for Algorithm 1's
+    /// tie-breaking).
+    pub fn max_size(&self) -> Option<SizeClass> {
+        self.sizes.values().copied().max()
+    }
+}
+
+/// Error returned by [`MvsProblem::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemError {
+    /// The camera list was empty.
+    NoCameras,
+    /// Camera ids were not the dense sequence `0..M`.
+    NonDenseCameraIds,
+    /// Object ids were not the dense sequence `0..N`.
+    NonDenseObjectIds,
+    /// An object had an empty coverage set (unschedulable).
+    EmptyCoverage(ObjectId),
+    /// An object referenced a camera outside the camera list.
+    UnknownCamera(ObjectId, CameraId),
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::NoCameras => write!(f, "problem has no cameras"),
+            ProblemError::NonDenseCameraIds => write!(f, "camera ids must be dense 0..M"),
+            ProblemError::NonDenseObjectIds => write!(f, "object ids must be dense 0..N"),
+            ProblemError::EmptyCoverage(o) => write!(f, "object {o} has an empty coverage set"),
+            ProblemError::UnknownCamera(o, c) => {
+                write!(f, "object {o} references unknown camera {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// A complete MVS instance: cameras, objects, coverage, and crop sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MvsProblem {
+    cameras: Vec<CameraInfo>,
+    objects: Vec<ObjectInfo>,
+}
+
+impl MvsProblem {
+    /// Validates and builds an instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProblemError`]: ids must be dense, every object must be seen
+    /// by at least one *known* camera.
+    pub fn new(cameras: Vec<CameraInfo>, objects: Vec<ObjectInfo>) -> Result<Self, ProblemError> {
+        if cameras.is_empty() {
+            return Err(ProblemError::NoCameras);
+        }
+        for (i, c) in cameras.iter().enumerate() {
+            if c.id.0 != i {
+                return Err(ProblemError::NonDenseCameraIds);
+            }
+        }
+        for (j, o) in objects.iter().enumerate() {
+            if o.id.0 != j {
+                return Err(ProblemError::NonDenseObjectIds);
+            }
+            if o.sizes.is_empty() {
+                return Err(ProblemError::EmptyCoverage(o.id));
+            }
+            for &c in o.sizes.keys() {
+                if c.0 >= cameras.len() {
+                    return Err(ProblemError::UnknownCamera(o.id, c));
+                }
+            }
+        }
+        Ok(MvsProblem { cameras, objects })
+    }
+
+    /// The cameras, indexed by [`CameraId`].
+    pub fn cameras(&self) -> &[CameraInfo] {
+        &self.cameras
+    }
+
+    /// The objects, indexed by [`ObjectId`].
+    pub fn objects(&self) -> &[ObjectInfo] {
+        &self.objects
+    }
+
+    /// Number of cameras `M`.
+    pub fn num_cameras(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Number of objects `N`.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Latency profile of one camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn profile(&self, camera: CameraId) -> &LatencyProfile {
+        &self.cameras[camera.0].profile
+    }
+
+    /// Generates a random instance for benchmarks and property tests.
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        num_cameras: usize,
+        num_objects: usize,
+        config: &ProblemConfig,
+    ) -> MvsProblem {
+        assert!(num_cameras > 0, "need at least one camera");
+        let cameras: Vec<CameraInfo> = (0..num_cameras)
+            .map(|i| CameraInfo {
+                id: CameraId(i),
+                profile: LatencyProfile::for_device(match i % 3 {
+                    0 => DeviceKind::Xavier,
+                    1 => DeviceKind::Tx2,
+                    _ => DeviceKind::Nano,
+                }),
+            })
+            .collect();
+        let objects: Vec<ObjectInfo> = (0..num_objects)
+            .map(|j| {
+                let mut sizes = BTreeMap::new();
+                // Every object is seen by at least one camera; extra
+                // coverage is added per `overlap_prob`.
+                let primary = rng.gen_range(0..num_cameras);
+                sizes.insert(CameraId(primary), random_size(rng, config));
+                for c in 0..num_cameras {
+                    if c != primary && rng.gen_bool(config.overlap_prob) {
+                        sizes.insert(CameraId(c), random_size(rng, config));
+                    }
+                }
+                ObjectInfo {
+                    id: ObjectId(j),
+                    sizes,
+                }
+            })
+            .collect();
+        MvsProblem { cameras, objects }
+    }
+}
+
+fn random_size<R: Rng + ?Sized>(rng: &mut R, config: &ProblemConfig) -> SizeClass {
+    // Geometric-ish distribution over size classes: small crops dominate,
+    // mirroring the long-tail object-size distribution of traffic scenes.
+    let mut idx = 0usize;
+    while idx + 1 < SizeClass::COUNT && rng.gen_bool(config.size_growth_prob) {
+        idx += 1;
+    }
+    SizeClass::from_index(idx)
+}
+
+/// Parameters of the random-instance generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProblemConfig {
+    /// Probability that an additional camera also sees an object.
+    pub overlap_prob: f64,
+    /// Probability of escalating to the next larger size class when drawing
+    /// an object's crop size.
+    pub size_growth_prob: f64,
+}
+
+impl Default for ProblemConfig {
+    fn default() -> Self {
+        ProblemConfig {
+            overlap_prob: 0.45,
+            size_growth_prob: 0.35,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn camera(i: usize) -> CameraInfo {
+        CameraInfo {
+            id: CameraId(i),
+            profile: LatencyProfile::for_device(DeviceKind::Xavier),
+        }
+    }
+
+    fn object(j: usize, coverage: &[(usize, SizeClass)]) -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(j),
+            sizes: coverage.iter().map(|&(c, s)| (CameraId(c), s)).collect(),
+        }
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            MvsProblem::new(vec![], vec![]),
+            Err(ProblemError::NoCameras)
+        );
+        let bad_cam = vec![CameraInfo {
+            id: CameraId(1),
+            ..camera(0)
+        }];
+        assert_eq!(
+            MvsProblem::new(bad_cam, vec![]),
+            Err(ProblemError::NonDenseCameraIds)
+        );
+        assert_eq!(
+            MvsProblem::new(vec![camera(0)], vec![object(1, &[(0, SizeClass::S64)])]),
+            Err(ProblemError::NonDenseObjectIds)
+        );
+        assert_eq!(
+            MvsProblem::new(vec![camera(0)], vec![object(0, &[])]),
+            Err(ProblemError::EmptyCoverage(ObjectId(0)))
+        );
+        assert_eq!(
+            MvsProblem::new(vec![camera(0)], vec![object(0, &[(3, SizeClass::S64)])]),
+            Err(ProblemError::UnknownCamera(ObjectId(0), CameraId(3)))
+        );
+    }
+
+    #[test]
+    fn object_accessors() {
+        let o = object(0, &[(0, SizeClass::S64), (2, SizeClass::S256)]);
+        assert_eq!(o.coverage_len(), 2);
+        assert!(o.covered_by(CameraId(2)));
+        assert!(!o.covered_by(CameraId(1)));
+        assert_eq!(o.size_on(CameraId(0)), Some(SizeClass::S64));
+        assert_eq!(o.max_size(), Some(SizeClass::S256));
+        let cov: Vec<CameraId> = o.coverage().collect();
+        assert_eq!(cov, vec![CameraId(0), CameraId(2)]);
+    }
+
+    #[test]
+    fn random_instances_are_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = MvsProblem::random(&mut rng, 4, 25, &ProblemConfig::default());
+            assert_eq!(p.num_cameras(), 4);
+            assert_eq!(p.num_objects(), 25);
+            // Re-validates through the constructor.
+            assert!(MvsProblem::new(p.cameras().to_vec(), p.objects().to_vec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_generator_is_deterministic() {
+        let a = MvsProblem::random(
+            &mut ChaCha8Rng::seed_from_u64(9),
+            3,
+            10,
+            &ProblemConfig::default(),
+        );
+        let b = MvsProblem::random(
+            &mut ChaCha8Rng::seed_from_u64(9),
+            3,
+            10,
+            &ProblemConfig::default(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlap_probability_drives_coverage() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let sparse = MvsProblem::random(
+            &mut rng,
+            5,
+            200,
+            &ProblemConfig {
+                overlap_prob: 0.05,
+                ..Default::default()
+            },
+        );
+        let dense = MvsProblem::random(
+            &mut rng,
+            5,
+            200,
+            &ProblemConfig {
+                overlap_prob: 0.9,
+                ..Default::default()
+            },
+        );
+        let avg = |p: &MvsProblem| {
+            p.objects().iter().map(|o| o.coverage_len()).sum::<usize>() as f64
+                / p.num_objects() as f64
+        };
+        assert!(avg(&dense) > avg(&sparse) + 1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Serde round-trip tests (C-SERDE): every persisted data structure must
+//! survive JSON serialization unchanged — schedules and problems are the
+//! artifacts an operator would log and replay.
+
+use mvs_core::{
+    balb_central, Assignment, BalbSchedule, CameraId, MvsProblem, ObjectId, ProblemConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn problem() -> MvsProblem {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    MvsProblem::random(&mut rng, 4, 18, &ProblemConfig::default())
+}
+
+#[test]
+fn problem_round_trips() {
+    let p = problem();
+    let json = serde_json::to_string(&p).unwrap();
+    let back: MvsProblem = serde_json::from_str(&json).unwrap();
+    assert_eq!(p, back);
+}
+
+#[test]
+fn assignment_round_trips() {
+    let p = problem();
+    let a = balb_central(&p).assignment;
+    let json = serde_json::to_string(&a).unwrap();
+    let back: Assignment = serde_json::from_str(&json).unwrap();
+    assert_eq!(a, back);
+    assert!(back.is_feasible(&p));
+}
+
+#[test]
+fn schedule_round_trips_and_stays_consistent() {
+    let p = problem();
+    let s = balb_central(&p);
+    let json = serde_json::to_string(&s).unwrap();
+    let back: BalbSchedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(s, back);
+    // The deserialized schedule still satisfies its own invariants.
+    assert_eq!(back.priority.len(), p.num_cameras());
+    for i in 0..p.num_cameras() {
+        let recomputed = back.assignment.camera_latency_ms(&p, CameraId(i), true);
+        assert!((recomputed - back.camera_latencies_ms[i]).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn ids_serialize_as_plain_integers() {
+    assert_eq!(serde_json::to_string(&CameraId(3)).unwrap(), "3");
+    assert_eq!(serde_json::to_string(&ObjectId(7)).unwrap(), "7");
+    let c: CameraId = serde_json::from_str("5").unwrap();
+    assert_eq!(c, CameraId(5));
+}
+
+#[test]
+fn balb_scales_to_large_instances() {
+    // Stress: 20 cameras, 2000 objects — must stay feasible and fast
+    // enough for a key-frame budget even in a debug build.
+    let mut rng = ChaCha8Rng::seed_from_u64(22);
+    let p = MvsProblem::random(&mut rng, 20, 2000, &ProblemConfig::default());
+    let started = std::time::Instant::now();
+    let s = balb_central(&p);
+    let elapsed = started.elapsed();
+    assert!(s.assignment.is_feasible(&p));
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "central stage took {elapsed:?} on M=20, N=2000"
+    );
+}

@@ -1,0 +1,415 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{FrameDims, Point2};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing an invalid [`BBox`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BBoxError {
+    /// A corner coordinate was NaN or infinite.
+    NonFinite,
+    /// `x2 < x1` or `y2 < y1`.
+    Inverted,
+}
+
+impl fmt::Display for BBoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BBoxError::NonFinite => write!(f, "bounding box coordinate was not finite"),
+            BBoxError::Inverted => write!(f, "bounding box corners were inverted"),
+        }
+    }
+}
+
+impl std::error::Error for BBoxError {}
+
+/// An axis-aligned bounding box in pixel (or world) coordinates.
+///
+/// Invariants: all coordinates are finite and `x1 <= x2`, `y1 <= y2`.
+/// Degenerate (zero-area) boxes are allowed; they behave sensibly under
+/// intersection and IoU (an empty box has IoU 0 with everything).
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::BBox;
+///
+/// let a = BBox::new(0.0, 0.0, 10.0, 10.0)?;
+/// let b = BBox::new(5.0, 5.0, 15.0, 15.0)?;
+/// assert_eq!(a.intersection_area(&b), 25.0);
+/// assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-12);
+/// # Ok::<(), mvs_geometry::BBoxError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    x1: f64,
+    y1: f64,
+    x2: f64,
+    y2: f64,
+}
+
+impl BBox {
+    /// Creates a bounding box from its top-left `(x1, y1)` and bottom-right
+    /// `(x2, y2)` corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BBoxError::NonFinite`] if any coordinate is NaN/infinite and
+    /// [`BBoxError::Inverted`] if the corners are swapped.
+    pub fn new(x1: f64, y1: f64, x2: f64, y2: f64) -> Result<Self, BBoxError> {
+        if !(x1.is_finite() && y1.is_finite() && x2.is_finite() && y2.is_finite()) {
+            return Err(BBoxError::NonFinite);
+        }
+        if x2 < x1 || y2 < y1 {
+            return Err(BBoxError::Inverted);
+        }
+        Ok(BBox { x1, y1, x2, y2 })
+    }
+
+    /// Creates a bounding box from its centre and dimensions.
+    ///
+    /// Negative dimensions are clamped to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input is not finite.
+    pub fn from_center(center: Point2, width: f64, height: f64) -> Self {
+        let w = width.max(0.0) / 2.0;
+        let h = height.max(0.0) / 2.0;
+        BBox::new(center.x - w, center.y - h, center.x + w, center.y + h)
+            .expect("finite centre and dimensions produce a valid box")
+    }
+
+    /// The smallest box containing every point in `points`, or `None` when
+    /// the iterator is empty.
+    pub fn hull<I: IntoIterator<Item = Point2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut x1, mut y1, mut x2, mut y2) = (first.x, first.y, first.x, first.y);
+        for p in it {
+            x1 = x1.min(p.x);
+            y1 = y1.min(p.y);
+            x2 = x2.max(p.x);
+            y2 = y2.max(p.y);
+        }
+        BBox::new(x1, y1, x2, y2).ok()
+    }
+
+    /// Left edge.
+    #[inline]
+    pub fn x1(&self) -> f64 {
+        self.x1
+    }
+
+    /// Top edge.
+    #[inline]
+    pub fn y1(&self) -> f64 {
+        self.y1
+    }
+
+    /// Right edge.
+    #[inline]
+    pub fn x2(&self) -> f64 {
+        self.x2
+    }
+
+    /// Bottom edge.
+    #[inline]
+    pub fn y2(&self) -> f64 {
+        self.y2
+    }
+
+    /// Box width (always non-negative).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.x2 - self.x1
+    }
+
+    /// Box height (always non-negative).
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.y2 - self.y1
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        Point2::new((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+    }
+
+    /// The longer of width and height — the quantity size quantization acts on.
+    #[inline]
+    pub fn long_side(&self) -> f64 {
+        self.width().max(self.height())
+    }
+
+    /// The four corner coordinates as `[x1, y1, x2, y2]`.
+    ///
+    /// This is the feature/target layout used by the cross-camera regression
+    /// models.
+    #[inline]
+    pub fn to_array(&self) -> [f64; 4] {
+        [self.x1, self.y1, self.x2, self.y2]
+    }
+
+    /// Builds a box from the `[x1, y1, x2, y2]` layout, repairing inverted
+    /// corners by sorting them (regression output may be slightly inverted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BBoxError::NonFinite`] if any coordinate is NaN/infinite.
+    pub fn from_array_lenient(a: [f64; 4]) -> Result<Self, BBoxError> {
+        let (x1, x2) = if a[0] <= a[2] {
+            (a[0], a[2])
+        } else {
+            (a[2], a[0])
+        };
+        let (y1, y2) = if a[1] <= a[3] {
+            (a[1], a[3])
+        } else {
+            (a[3], a[1])
+        };
+        BBox::new(x1, y1, x2, y2)
+    }
+
+    /// Whether `p` lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: Point2) -> bool {
+        p.x >= self.x1 && p.x <= self.x2 && p.y >= self.y1 && p.y <= self.y2
+    }
+
+    /// Whether `other` lies entirely inside the box.
+    #[inline]
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        other.x1 >= self.x1 && other.y1 >= self.y1 && other.x2 <= self.x2 && other.y2 <= self.y2
+    }
+
+    /// The overlap region of two boxes, or `None` when they are disjoint.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        let x1 = self.x1.max(other.x1);
+        let y1 = self.y1.max(other.y1);
+        let x2 = self.x2.min(other.x2);
+        let y2 = self.y2.min(other.y2);
+        if x2 > x1 && y2 > y1 {
+            Some(BBox { x1, y1, x2, y2 })
+        } else {
+            None
+        }
+    }
+
+    /// Area of the overlap region (zero when disjoint).
+    #[inline]
+    pub fn intersection_area(&self, other: &BBox) -> f64 {
+        let w = (self.x2.min(other.x2) - self.x1.max(other.x1)).max(0.0);
+        let h = (self.y2.min(other.y2) - self.y1.max(other.y1)).max(0.0);
+        w * h
+    }
+
+    /// Intersection over union, in `[0, 1]`.
+    ///
+    /// Two boxes with zero union area have IoU 0.
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union > 0.0 {
+            inter / union
+        } else {
+            0.0
+        }
+    }
+
+    /// The smallest box containing both boxes.
+    pub fn union_hull(&self, other: &BBox) -> BBox {
+        BBox {
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+            x2: self.x2.max(other.x2),
+            y2: self.y2.max(other.y2),
+        }
+    }
+
+    /// Translates the box by the displacement `d`.
+    pub fn translated(&self, d: Point2) -> BBox {
+        BBox {
+            x1: self.x1 + d.x,
+            y1: self.y1 + d.y,
+            x2: self.x2 + d.x,
+            y2: self.y2 + d.y,
+        }
+    }
+
+    /// Scales the box about its centre by `factor` (must be non-negative).
+    pub fn scaled_about_center(&self, factor: f64) -> BBox {
+        let c = self.center();
+        BBox::from_center(c, self.width() * factor, self.height() * factor)
+    }
+
+    /// Returns a square box of side `side` centred on this box's centre.
+    ///
+    /// This is the centred expansion performed by tracking-based slicing when
+    /// a predicted region is grown to its quantized [`SizeClass`] side.
+    ///
+    /// [`SizeClass`]: crate::SizeClass
+    pub fn expanded_to_square(&self, side: f64) -> BBox {
+        BBox::from_center(self.center(), side.max(0.0), side.max(0.0))
+    }
+
+    /// Clamps the box to the frame, returning `None` if nothing remains.
+    pub fn clamped_to(&self, frame: FrameDims) -> Option<BBox> {
+        let x1 = self.x1.max(0.0);
+        let y1 = self.y1.max(0.0);
+        let x2 = self.x2.min(frame.width as f64);
+        let y2 = self.y2.min(frame.height as f64);
+        if x2 > x1 && y2 > y1 {
+            Some(BBox { x1, y1, x2, y2 })
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of this box's area that lies inside `other`, in `[0, 1]`.
+    pub fn coverage_by(&self, other: &BBox) -> f64 {
+        let a = self.area();
+        if a > 0.0 {
+            self.intersection_area(other) / a
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1},{:.1}..{:.1},{:.1}]",
+            self.x1, self.y1, self.x2, self.y2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x1: f64, y1: f64, x2: f64, y2: f64) -> BBox {
+        BBox::new(x1, y1, x2, y2).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_boxes() {
+        assert_eq!(
+            BBox::new(f64::NAN, 0.0, 1.0, 1.0),
+            Err(BBoxError::NonFinite)
+        );
+        assert_eq!(BBox::new(2.0, 0.0, 1.0, 1.0), Err(BBoxError::Inverted));
+        assert_eq!(BBox::new(0.0, 2.0, 1.0, 1.0), Err(BBoxError::Inverted));
+    }
+
+    #[test]
+    fn degenerate_box_is_allowed() {
+        let b = bb(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(b.area(), 0.0);
+        assert_eq!(b.iou(&bb(0.0, 0.0, 2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = bb(3.0, 4.0, 10.0, 20.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = bb(0.0, 0.0, 1.0, 1.0);
+        let b = bb(2.0, 2.0, 3.0, 3.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = bb(0.0, 0.0, 10.0, 10.0);
+        let b = bb(5.0, 2.0, 16.0, 9.0);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn intersection_matches_area() {
+        let a = bb(0.0, 0.0, 10.0, 10.0);
+        let b = bb(5.0, 5.0, 15.0, 15.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, bb(5.0, 5.0, 10.0, 10.0));
+        assert_eq!(i.area(), a.intersection_area(&b));
+    }
+
+    #[test]
+    fn from_center_round_trip() {
+        let b = BBox::from_center(Point2::new(50.0, 60.0), 20.0, 10.0);
+        assert_eq!(b.center(), Point2::new(50.0, 60.0));
+        assert_eq!(b.width(), 20.0);
+        assert_eq!(b.height(), 10.0);
+    }
+
+    #[test]
+    fn expansion_to_square_keeps_center() {
+        let b = bb(10.0, 20.0, 40.0, 30.0);
+        let e = b.expanded_to_square(128.0);
+        assert_eq!(e.center(), b.center());
+        assert_eq!(e.width(), 128.0);
+        assert_eq!(e.height(), 128.0);
+        assert!(e.contains_box(&b));
+    }
+
+    #[test]
+    fn clamping_to_frame() {
+        let frame = FrameDims::new(1280, 704);
+        let b = bb(-10.0, -10.0, 100.0, 100.0);
+        let c = b.clamped_to(frame).unwrap();
+        assert_eq!(c, bb(0.0, 0.0, 100.0, 100.0));
+        assert!(bb(-20.0, -20.0, -1.0, -1.0).clamped_to(frame).is_none());
+    }
+
+    #[test]
+    fn hull_of_points() {
+        let h = BBox::hull([
+            Point2::new(3.0, 1.0),
+            Point2::new(-1.0, 5.0),
+            Point2::new(2.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(h, bb(-1.0, 1.0, 3.0, 5.0));
+        assert!(BBox::hull(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let small = bb(0.0, 0.0, 2.0, 2.0);
+        let big = bb(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(small.coverage_by(&big), 1.0);
+        assert_eq!(big.coverage_by(&small), 0.04);
+    }
+
+    #[test]
+    fn lenient_array_round_trip_repairs_inversion() {
+        let b = BBox::from_array_lenient([10.0, 8.0, 2.0, 4.0]).unwrap();
+        assert_eq!(b, bb(2.0, 4.0, 10.0, 8.0));
+    }
+
+    #[test]
+    fn translation_preserves_size() {
+        let b = bb(0.0, 0.0, 4.0, 6.0);
+        let t = b.translated(Point2::new(10.0, -2.0));
+        assert_eq!(t.width(), b.width());
+        assert_eq!(t.height(), b.height());
+        assert_eq!(t.x1(), 10.0);
+        assert_eq!(t.y1(), -2.0);
+    }
+}

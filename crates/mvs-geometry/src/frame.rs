@@ -1,0 +1,100 @@
+//! Camera frame dimensions.
+
+use crate::BBox;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pixel dimensions of a camera frame.
+///
+/// The paper uses 1280×704 for regular cameras and 1280×960 for fisheye
+/// cameras; both are provided as constants.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::FrameDims;
+///
+/// let f = FrameDims::REGULAR;
+/// assert_eq!(f.pixel_count(), 1280 * 704);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameDims {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+}
+
+impl FrameDims {
+    /// The 1280×704 frame used for regular cameras in the paper.
+    pub const REGULAR: FrameDims = FrameDims {
+        width: 1280,
+        height: 704,
+    };
+
+    /// The 1280×960 frame used for fisheye cameras in the paper.
+    pub const FISHEYE: FrameDims = FrameDims {
+        width: 1280,
+        height: 960,
+    };
+
+    /// Creates frame dimensions.
+    #[inline]
+    pub const fn new(width: u32, height: u32) -> Self {
+        FrameDims { width, height }
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub const fn pixel_count(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// The whole frame as a bounding box anchored at the origin.
+    pub fn as_bbox(&self) -> BBox {
+        BBox::new(0.0, 0.0, self.width as f64, self.height as f64)
+            .expect("frame dimensions are finite and non-negative")
+    }
+
+    /// Whether the box is entirely inside the frame.
+    pub fn contains(&self, b: &BBox) -> bool {
+        self.as_bbox().contains_box(b)
+    }
+}
+
+impl Default for FrameDims {
+    fn default() -> Self {
+        FrameDims::REGULAR
+    }
+}
+
+impl fmt::Display for FrameDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(FrameDims::REGULAR, FrameDims::new(1280, 704));
+        assert_eq!(FrameDims::FISHEYE, FrameDims::new(1280, 960));
+    }
+
+    #[test]
+    fn as_bbox_covers_frame() {
+        let f = FrameDims::new(100, 50);
+        let b = f.as_bbox();
+        assert_eq!(b.area(), 5000.0);
+        assert!(f.contains(&BBox::new(0.0, 0.0, 100.0, 50.0).unwrap()));
+        assert!(!f.contains(&BBox::new(0.0, 0.0, 101.0, 50.0).unwrap()));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(FrameDims::REGULAR.to_string(), "1280x704");
+    }
+}

@@ -1,0 +1,50 @@
+//! Geometry primitives for multi-view video analytics.
+//!
+//! This crate provides the 2-D vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`Point2`] — a point (or displacement) in the plane;
+//! * [`BBox`] — an axis-aligned bounding box with intersection-over-union and
+//!   the centred-expansion operations used by tracking-based image slicing;
+//! * [`FrameDims`] — pixel dimensions of a camera frame;
+//! * [`SizeClass`] — the quantized partial-region sizes (64/128/256/512) that
+//!   make GPU task batching possible;
+//! * [`Grid`] — a cell grid over a frame, used by the distributed-stage
+//!   camera masks;
+//! * [`Polygon`] — a convex polygon used for camera fields of view in world
+//!   coordinates;
+//! * [`Projective2`] — a 3×3 projective transform (homography).
+//!
+//! # Examples
+//!
+//! ```
+//! use mvs_geometry::{BBox, SizeClass};
+//!
+//! let car = BBox::new(100.0, 50.0, 180.0, 110.0).unwrap();
+//! let predicted = BBox::new(104.0, 52.0, 186.0, 114.0).unwrap();
+//! assert!(car.iou(&predicted) > 0.7);
+//!
+//! // Tracking-based slicing expands the search region to a quantized size so
+//! // that equally-sized crops can be batched on the GPU.
+//! let class = SizeClass::quantize(car.width(), car.height());
+//! assert_eq!(class, SizeClass::S128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod frame;
+mod grid;
+mod point;
+mod polygon;
+mod size;
+mod transform;
+
+pub use bbox::{BBox, BBoxError};
+pub use frame::FrameDims;
+pub use grid::{CellIndex, Grid};
+pub use point::Point2;
+pub use polygon::{Polygon, PolygonError};
+pub use size::SizeClass;
+pub use transform::Projective2;

@@ -1,0 +1,157 @@
+//! Per-frame latency bookkeeping (Fig. 13/14 metric).
+
+use crate::Summary;
+use serde::{Deserialize, Serialize};
+
+/// A series of per-frame system latencies (the slowest camera per frame).
+///
+/// The paper reports "the average per-frame YOLO inference time on the
+/// slowest camera for each scheduling horizon", with the key frame's
+/// full-frame time averaged into its horizon.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_metrics::LatencySeries;
+///
+/// let mut s = LatencySeries::new();
+/// s.push(650.0); // key frame
+/// for _ in 0..9 { s.push(50.0); } // regular frames
+/// assert!((s.mean_ms() - (650.0 + 9.0 * 50.0) / 10.0).abs() < 1e-9);
+/// assert_eq!(LatencySeries::speedup(650.0, s.mean_ms()), 650.0 / s.mean_ms());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySeries {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        LatencySeries::default()
+    }
+
+    /// Appends one frame's system latency (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is negative or not finite.
+    pub fn push(&mut self, latency_ms: f64) {
+        assert!(
+            latency_ms.is_finite() && latency_ms >= 0.0,
+            "latency sample must be finite and non-negative"
+        );
+        self.samples_ms.push(latency_ms);
+    }
+
+    /// Number of recorded frames.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// True when no frames have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Mean latency over all frames; `0.0` when empty.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            0.0
+        } else {
+            self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+        }
+    }
+
+    /// Mean latency per horizon of `horizon` frames (the Fig. 13 grouping),
+    /// one value per complete-or-partial horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn horizon_means_ms(&self, horizon: usize) -> Vec<f64> {
+        assert!(horizon > 0, "horizon must be positive");
+        self.samples_ms
+            .chunks(horizon)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    }
+
+    /// Descriptive statistics over the samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples_ms)
+    }
+
+    /// Multiplicative speedup of `ours` relative to `baseline`
+    /// (`baseline / ours`); the paper's `2.45×`–`6.85×` numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ours` is not positive.
+    pub fn speedup(baseline_ms: f64, ours_ms: f64) -> f64 {
+        assert!(ours_ms > 0.0, "cannot compute speedup over zero latency");
+        baseline_ms / ours_ms
+    }
+}
+
+impl Extend<f64> for LatencySeries {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for LatencySeries {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = LatencySeries::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(LatencySeries::new().mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn horizon_means_chunking() {
+        let s: LatencySeries = [10.0, 20.0, 30.0, 40.0, 50.0].into_iter().collect();
+        let h = s.horizon_means_ms(2);
+        assert_eq!(h, vec![15.0, 35.0, 50.0]);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        assert_eq!(LatencySeries::speedup(650.0, 100.0), 6.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_samples() {
+        LatencySeries::new().push(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn rejects_zero_horizon() {
+        let s: LatencySeries = [1.0].into_iter().collect();
+        s.horizon_means_ms(0);
+    }
+
+    #[test]
+    fn summary_agrees_with_mean() {
+        let s: LatencySeries = [1.0, 3.0].into_iter().collect();
+        assert_eq!(s.summary().mean, s.mean_ms());
+    }
+}

@@ -1,0 +1,34 @@
+//! Evaluation metrics and reporting for the multi-view pipeline.
+//!
+//! Implements the paper's two headline metrics plus the bookkeeping the
+//! experiment harness needs:
+//!
+//! * [`RecallAccumulator`] — *object recall* (Sec. IV-C): at every
+//!   timestamp, a ground-truth object counts as a true positive if at least
+//!   one camera detects it; recall is TP / (TP + FN).
+//! * [`LatencySeries`] — per-frame system latency (the slowest camera) and
+//!   the per-horizon averaging used in Fig. 13/14, plus speedups.
+//! * [`OverheadBreakdown`] — Table II's per-component accounting
+//!   (max-across-cameras per frame, then mean across frames).
+//! * [`Summary`], [`TextTable`], and [`sparkline`] — descriptive
+//!   statistics, plain-text tables, and terminal sparklines for the
+//!   experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod overhead;
+mod recall;
+mod report;
+mod running;
+mod sparkline;
+mod summary;
+
+pub use latency::LatencySeries;
+pub use overhead::{OverheadBreakdown, OverheadSample};
+pub use recall::RecallAccumulator;
+pub use report::TextTable;
+pub use running::Running;
+pub use sparkline::{sparkline, sparkline_fit};
+pub use summary::Summary;

@@ -1,0 +1,137 @@
+//! Table II: per-frame latency overhead breakdown.
+
+use serde::{Deserialize, Serialize};
+
+/// One frame's overhead contributions on one camera (or the central
+/// scheduler), in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverheadSample {
+    /// Cross-camera association + central BALB scheduling, amortized over
+    /// the frames of its horizon (the central stage runs once per horizon).
+    pub central_ms: f64,
+    /// Optical-flow prediction + track association.
+    pub tracking_ms: f64,
+    /// The distributed-stage BALB decisions.
+    pub distributed_ms: f64,
+    /// Batch assembly (crop extraction, resizing, tensor packing).
+    pub batching_ms: f64,
+}
+
+impl OverheadSample {
+    /// Sum of all components.
+    pub fn total_ms(&self) -> f64 {
+        self.central_ms + self.tracking_ms + self.distributed_ms + self.batching_ms
+    }
+}
+
+/// Accumulates the Table II statistic: for every component, take the
+/// maximum across cameras within a frame, then the mean across frames.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_metrics::{OverheadBreakdown, OverheadSample};
+///
+/// let mut b = OverheadBreakdown::new();
+/// b.record_frame(&[
+///     OverheadSample { tracking_ms: 10.0, ..Default::default() },
+///     OverheadSample { tracking_ms: 20.0, ..Default::default() },
+/// ]);
+/// b.record_frame(&[OverheadSample { tracking_ms: 30.0, ..Default::default() }]);
+/// assert_eq!(b.mean().tracking_ms, 25.0); // mean of per-frame maxima {20, 30}
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    sum: OverheadSample,
+    frames: u64,
+}
+
+impl OverheadBreakdown {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OverheadBreakdown::default()
+    }
+
+    /// Records one frame given the per-camera samples; empty input counts a
+    /// frame with zero overhead.
+    pub fn record_frame(&mut self, per_camera: &[OverheadSample]) {
+        let max = |f: fn(&OverheadSample) -> f64| per_camera.iter().map(f).fold(0.0, f64::max);
+        self.sum.central_ms += max(|s| s.central_ms);
+        self.sum.tracking_ms += max(|s| s.tracking_ms);
+        self.sum.distributed_ms += max(|s| s.distributed_ms);
+        self.sum.batching_ms += max(|s| s.batching_ms);
+        self.frames += 1;
+    }
+
+    /// Number of recorded frames.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Mean per-frame overhead per component (zeros when no frames).
+    pub fn mean(&self) -> OverheadSample {
+        if self.frames == 0 {
+            return OverheadSample::default();
+        }
+        let n = self.frames as f64;
+        OverheadSample {
+            central_ms: self.sum.central_ms / n,
+            tracking_ms: self.sum.tracking_ms / n,
+            distributed_ms: self.sum.distributed_ms / n,
+            batching_ms: self.sum.batching_ms / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let s = OverheadSample {
+            central_ms: 1.0,
+            tracking_ms: 2.0,
+            distributed_ms: 3.0,
+            batching_ms: 4.0,
+        };
+        assert_eq!(s.total_ms(), 10.0);
+    }
+
+    #[test]
+    fn per_component_maxima_are_independent() {
+        let mut b = OverheadBreakdown::new();
+        b.record_frame(&[
+            OverheadSample {
+                central_ms: 5.0,
+                tracking_ms: 1.0,
+                ..Default::default()
+            },
+            OverheadSample {
+                central_ms: 1.0,
+                tracking_ms: 9.0,
+                ..Default::default()
+            },
+        ]);
+        let m = b.mean();
+        assert_eq!(m.central_ms, 5.0);
+        assert_eq!(m.tracking_ms, 9.0);
+    }
+
+    #[test]
+    fn empty_accumulator_means_zero() {
+        assert_eq!(OverheadBreakdown::new().mean(), OverheadSample::default());
+    }
+
+    #[test]
+    fn empty_frame_counts_as_zero_overhead() {
+        let mut b = OverheadBreakdown::new();
+        b.record_frame(&[OverheadSample {
+            batching_ms: 10.0,
+            ..Default::default()
+        }]);
+        b.record_frame(&[]);
+        assert_eq!(b.frames(), 2);
+        assert_eq!(b.mean().batching_ms, 5.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Running mean/variance accumulation (Welford's algorithm) for
+//! multi-seed experiment replication.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_metrics::Running;
+///
+/// let mut r = Running::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     r.push(v);
+/// }
+/// assert_eq!(r.mean(), 4.0);
+/// assert!((r.sample_std() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is not finite.
+    pub fn push(&mut self, value: f64) {
+        assert!(value.is_finite(), "running-stat samples must be finite");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`0.0` with fewer than one sample).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) standard deviation; `0.0` with fewer than
+    /// two samples.
+    pub fn sample_std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Formats as `mean ± std` with the given precision.
+    pub fn format(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ± {:.p$}",
+            self.mean(),
+            self.sample_std(),
+            p = precision
+        )
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.sample_std(), 0.0);
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let samples = [1.5, -2.0, 7.25, 0.0, 3.125];
+        let mut r = Running::new();
+        r.extend(samples);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((r.mean() - mean).abs() < 1e-12);
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((r.sample_std() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let mut r = Running::new();
+        r.push(42.0);
+        assert_eq!(r.mean(), 42.0);
+        assert_eq!(r.sample_std(), 0.0);
+    }
+
+    #[test]
+    fn stable_under_large_offsets() {
+        // Welford's point: offset by 1e9 must not destroy the variance.
+        let mut r = Running::new();
+        for v in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            r.push(v);
+        }
+        assert!((r.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((r.sample_std() - 30f64.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn format_renders_mean_and_std() {
+        let mut r = Running::new();
+        r.extend([1.0, 3.0]);
+        assert_eq!(r.format(1), "2.0 ± 1.4");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Running::new().push(f64::NAN);
+    }
+}

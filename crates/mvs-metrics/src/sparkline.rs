@@ -1,0 +1,121 @@
+//! Terminal sparklines for the experiment binaries.
+
+/// Renders a compact one-line sparkline of a sample series using Unicode
+/// block characters, e.g. `▂▃▅▇█▆▃▁`.
+///
+/// Values are scaled between the series min and max; an empty series
+/// renders as an empty string and a constant series as a flat mid-level
+/// line. NaN/infinite samples are rejected.
+///
+/// # Panics
+///
+/// Panics if any sample is not finite.
+///
+/// # Examples
+///
+/// ```
+/// let s = mvs_metrics::sparkline(&[1.0, 2.0, 3.0, 2.0, 1.0]);
+/// assert_eq!(s.chars().count(), 5);
+/// assert!(s.contains('█'));
+/// ```
+pub fn sparkline(samples: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    assert!(
+        samples.iter().all(|v| v.is_finite()),
+        "sparkline samples must be finite"
+    );
+    if samples.is_empty() {
+        return String::new();
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    samples
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 {
+                LEVELS[3]
+            } else {
+                let idx = ((v - min) / span * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Downsamples a series to at most `width` points (bucket means) and
+/// renders it with [`sparkline`] — for long per-frame latency series.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or any sample is not finite.
+pub fn sparkline_fit(samples: &[f64], width: usize) -> String {
+    assert!(width > 0, "sparkline width must be positive");
+    if samples.len() <= width {
+        return sparkline(samples);
+    }
+    let bucket = samples.len().div_ceil(width);
+    let reduced: Vec<f64> = samples
+        .chunks(bucket)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    sparkline(&reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_empty_string() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s, "▄▄▄");
+    }
+
+    #[test]
+    fn extremes_map_to_extreme_levels() {
+        let s: Vec<char> = sparkline(&[0.0, 10.0]).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn monotone_series_is_non_decreasing() {
+        let s: Vec<char> = sparkline(&[1.0, 2.0, 3.0, 4.0, 5.0]).chars().collect();
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn fit_reduces_long_series() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = sparkline_fit(&samples, 40);
+        assert!(s.chars().count() <= 40);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn fit_passes_short_series_through() {
+        let samples = [1.0, 2.0];
+        assert_eq!(sparkline_fit(&samples, 40), sparkline(&samples));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        sparkline(&[f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        sparkline_fit(&[1.0], 0);
+    }
+}

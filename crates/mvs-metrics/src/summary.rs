@@ -1,0 +1,116 @@
+//! Descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / min / max / percentile summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (`0.0` for empty input).
+    pub mean: f64,
+    /// Minimum (`0.0` for empty input).
+    pub min: f64,
+    /// Maximum (`0.0` for empty input).
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is not finite.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "summary samples must be finite"
+        );
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        Summary {
+            count: n,
+            mean,
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Nearest-rank percentile on pre-sorted data.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Summary::of(&[f64::NAN]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the metrics crate.
+
+use mvs_metrics::{sparkline, sparkline_fit, LatencySeries, RecallAccumulator, Running, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn running_matches_summary(samples in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let mut running = Running::new();
+        running.extend(samples.iter().copied());
+        let summary = Summary::of(&samples);
+        prop_assert!((running.mean() - summary.mean).abs() < 1e-6);
+        prop_assert_eq!(running.count() as usize, summary.count);
+        // Population std from Summary vs Bessel-corrected from Running.
+        if samples.len() > 1 {
+            let pop_var = summary.std_dev * summary.std_dev;
+            let sample_var = running.sample_std() * running.sample_std();
+            let expected = pop_var * samples.len() as f64 / (samples.len() - 1) as f64;
+            prop_assert!((sample_var - expected).abs() < 1e-4 * expected.max(1.0));
+        }
+    }
+
+    #[test]
+    fn summary_bounds_hold(samples in prop::collection::vec(-1e5f64..1e5, 1..100)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
+        prop_assert!(s.p50 <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn sparkline_length_matches_input(samples in prop::collection::vec(0.0f64..100.0, 0..80)) {
+        prop_assert_eq!(sparkline(&samples).chars().count(), samples.len());
+    }
+
+    #[test]
+    fn sparkline_fit_respects_width(
+        samples in prop::collection::vec(0.0f64..100.0, 1..500),
+        width in 1usize..60,
+    ) {
+        let rendered = sparkline_fit(&samples, width).chars().count();
+        prop_assert!(rendered <= width, "rendered {rendered} > width {width}");
+        prop_assert!(rendered > 0);
+    }
+
+    #[test]
+    fn latency_series_mean_is_within_sample_range(
+        samples in prop::collection::vec(0.0f64..1e4, 1..200),
+    ) {
+        let series: LatencySeries = samples.iter().copied().collect();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(series.mean_ms() >= lo - 1e-9 && series.mean_ms() <= hi + 1e-9);
+        // Horizon means average back to the global mean.
+        let horizon_means = series.horizon_means_ms(10);
+        prop_assert!(!horizon_means.is_empty());
+        for h in &horizon_means {
+            prop_assert!(*h >= lo - 1e-9 && *h <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn recall_is_a_valid_probability(
+        frames in prop::collection::vec(
+            (
+                prop::collection::btree_set(0u64..40, 0..12),
+                prop::collection::btree_set(0u64..40, 0..12),
+            ),
+            0..30,
+        ),
+    ) {
+        let mut acc = RecallAccumulator::new();
+        for (visible, detected) in &frames {
+            acc.record(visible.iter().copied(), detected.iter().copied());
+        }
+        let r = acc.recall();
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert_eq!(acc.frames() as usize, frames.len());
+        // Detecting everything visible yields recall 1.
+        let mut perfect = RecallAccumulator::new();
+        for (visible, _) in &frames {
+            perfect.record(visible.iter().copied(), visible.iter().copied());
+        }
+        prop_assert_eq!(perfect.recall(), 1.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_detections(
+        visible in prop::collection::btree_set(0u64..30, 1..20),
+        partial in prop::collection::btree_set(0u64..30, 0..10),
+    ) {
+        // Detecting a superset can never lower recall.
+        let mut less = RecallAccumulator::new();
+        less.record(visible.iter().copied(), partial.iter().copied());
+        let mut more = RecallAccumulator::new();
+        let superset: Vec<u64> = partial.iter().chain(visible.iter()).copied().collect();
+        more.record(visible.iter().copied(), superset);
+        prop_assert!(more.recall() >= less.recall());
+    }
+}

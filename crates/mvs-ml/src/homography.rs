@@ -1,0 +1,191 @@
+//! Homography estimation from point correspondences.
+//!
+//! The classical-vision baseline of Fig. 11: estimate a ground-plane
+//! homography between two cameras and map bounding boxes through it. As the
+//! paper notes, a planar homography cannot capture 3-D object extent, which
+//! is why it loses to the data-driven KNN regressor.
+
+use crate::{Matrix, MlError};
+use mvs_geometry::{Point2, Projective2};
+
+/// Estimates the homography `H` such that `H · src[i] ≈ dst[i]`, using the
+/// normalized direct linear transform with the `h₃₃ = 1` gauge fixed and the
+/// remaining 8 parameters solved by least squares.
+///
+/// At least four correspondences are required; more are used in a
+/// least-squares sense.
+///
+/// # Errors
+///
+/// Returns [`MlError::NotEnoughSamples`] with fewer than four pairs,
+/// [`MlError::DimensionMismatch`] when the slices differ in length, and
+/// [`MlError::SingularSystem`] for degenerate configurations (e.g. all
+/// source points collinear).
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::{Point2, Projective2};
+/// use mvs_ml::estimate_homography;
+///
+/// let truth = Projective2::translation(10.0, 5.0);
+/// let src = [
+///     Point2::new(0.0, 0.0), Point2::new(100.0, 0.0),
+///     Point2::new(100.0, 100.0), Point2::new(0.0, 100.0),
+/// ];
+/// let dst: Vec<_> = src.iter().map(|&p| truth.apply(p).unwrap()).collect();
+/// let h = estimate_homography(&src, &dst)?;
+/// let mapped = h.apply(Point2::new(50.0, 50.0)).unwrap();
+/// assert!(mapped.distance(Point2::new(60.0, 55.0)) < 1e-6);
+/// # Ok::<(), mvs_ml::MlError>(())
+/// ```
+pub fn estimate_homography(src: &[Point2], dst: &[Point2]) -> Result<Projective2, MlError> {
+    if src.len() != dst.len() {
+        return Err(MlError::DimensionMismatch {
+            expected: src.len(),
+            found: dst.len(),
+        });
+    }
+    if src.len() < 4 {
+        return Err(MlError::NotEnoughSamples {
+            required: 4,
+            available: src.len(),
+        });
+    }
+    // Hartley normalization: translate centroids to the origin and scale the
+    // mean distance to sqrt(2). Dramatically improves conditioning for
+    // pixel-scale coordinates.
+    let (t_src, src_n) = normalize(src);
+    let (t_dst, dst_n) = normalize(dst);
+
+    // Each correspondence contributes two rows of the 8-unknown system.
+    let mut rows = Vec::with_capacity(2 * src.len());
+    let mut rhs = Vec::with_capacity(2 * src.len());
+    for (s, d) in src_n.iter().zip(&dst_n) {
+        let (x, y, u, v) = (s.x, s.y, d.x, d.y);
+        rows.push(vec![x, y, 1.0, 0.0, 0.0, 0.0, -u * x, -u * y]);
+        rhs.push(u);
+        rows.push(vec![0.0, 0.0, 0.0, x, y, 1.0, -v * x, -v * y]);
+        rhs.push(v);
+    }
+    let a = Matrix::from_rows(&rows)?;
+    // No ridge term: degenerate configurations must surface as
+    // `SingularSystem` rather than being silently regularized into a
+    // meaningless transform.
+    let h = a.solve_least_squares(&rhs, 0.0)?;
+    let h_norm =
+        Projective2::from_matrix([[h[0], h[1], h[2]], [h[3], h[4], h[5]], [h[6], h[7], 1.0]]);
+    // Denormalize: H = T_dst⁻¹ · H_norm · T_src.
+    let t_dst_inv = t_dst.inverse().ok_or(MlError::SingularSystem)?;
+    Ok(t_dst_inv.compose(&h_norm).compose(&t_src))
+}
+
+/// Returns the normalizing transform and the transformed points.
+fn normalize(pts: &[Point2]) -> (Projective2, Vec<Point2>) {
+    let n = pts.len() as f64;
+    let centroid = pts.iter().fold(Point2::ORIGIN, |acc, &p| acc + p) / n;
+    let mean_dist = pts.iter().map(|p| p.distance(centroid)).sum::<f64>() / n;
+    let scale = if mean_dist > 1e-12 {
+        std::f64::consts::SQRT_2 / mean_dist
+    } else {
+        1.0
+    };
+    let t = Projective2::from_matrix([
+        [scale, 0.0, -scale * centroid.x],
+        [0.0, scale, -scale * centroid.y],
+        [0.0, 0.0, 1.0],
+    ]);
+    let mapped = pts
+        .iter()
+        .map(|&p| t.apply(p).expect("normalizing transform is affine"))
+        .collect();
+    (t, mapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply_all(h: &Projective2, pts: &[Point2]) -> Vec<Point2> {
+        pts.iter().map(|&p| h.apply(p).unwrap()).collect()
+    }
+
+    fn sample_points() -> Vec<Point2> {
+        vec![
+            Point2::new(10.0, 20.0),
+            Point2::new(620.0, 40.0),
+            Point2::new(600.0, 460.0),
+            Point2::new(30.0, 440.0),
+            Point2::new(320.0, 240.0),
+            Point2::new(150.0, 300.0),
+        ]
+    }
+
+    #[test]
+    fn recovers_affine_map() {
+        let truth = Projective2::rotation(0.3).compose(&Projective2::translation(40.0, -20.0));
+        let src = sample_points();
+        let dst = apply_all(&truth, &src);
+        let h = estimate_homography(&src, &dst).unwrap();
+        for (&s, &d) in src.iter().zip(&dst) {
+            assert!(h.apply(s).unwrap().distance(d) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recovers_projective_warp() {
+        let truth =
+            Projective2::from_matrix([[1.1, 0.05, 30.0], [-0.02, 0.95, 10.0], [1e-4, -5e-5, 1.0]]);
+        let src = sample_points();
+        let dst = apply_all(&truth, &src);
+        let h = estimate_homography(&src, &dst).unwrap();
+        // Test on a held-out point.
+        let q = Point2::new(400.0, 100.0);
+        assert!(h.apply(q).unwrap().distance(truth.apply(q).unwrap()) < 1e-4);
+    }
+
+    #[test]
+    fn exact_four_point_fit() {
+        let truth = Projective2::scale(2.0);
+        let src = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let dst = apply_all(&truth, &src);
+        let h = estimate_homography(&src, &dst).unwrap();
+        assert!(
+            h.apply(Point2::new(0.5, 0.5))
+                .unwrap()
+                .distance(Point2::new(1.0, 1.0))
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        let p = vec![Point2::ORIGIN; 3];
+        assert!(matches!(
+            estimate_homography(&p, &p),
+            Err(MlError::NotEnoughSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let p = vec![Point2::ORIGIN; 4];
+        let q = vec![Point2::ORIGIN; 5];
+        assert!(matches!(
+            estimate_homography(&p, &q),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_collinear_points_error() {
+        let src: Vec<Point2> = (0..6).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let dst = src.clone();
+        assert!(estimate_homography(&src, &dst).is_err());
+    }
+}

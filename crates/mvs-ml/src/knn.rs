@@ -1,0 +1,280 @@
+//! K-nearest-neighbour classification and regression.
+//!
+//! These are the paper's chosen cross-camera association models (Sec. II-C):
+//! non-parametric lookup tables that use the nearest memorized cases to
+//! predict (a) whether an object seen by camera *i* is visible in camera
+//! *i'* and (b) where its bounding box lands there.
+
+use crate::{Classifier, MlError, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// Indices (into the training set) and distances of the `k` nearest rows.
+fn k_nearest(train: &[Vec<f64>], x: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+    for (i, row) in train.iter().enumerate() {
+        let d: f64 = row
+            .iter()
+            .zip(x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // Insertion sort into the running top-k: k is tiny (≤ ~10).
+        let pos = best.partition_point(|&(_, bd)| bd <= d);
+        if pos < k {
+            best.insert(pos, (i, d));
+            best.truncate(k);
+        }
+    }
+    best
+}
+
+/// K-nearest-neighbour classifier (majority vote, ties to lower label).
+///
+/// # Examples
+///
+/// ```
+/// use mvs_ml::{Classifier, KnnClassifier};
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// let ys = vec![0, 0, 1, 1];
+/// let model = KnnClassifier::fit(3, &xs, &ys)?;
+/// assert_eq!(model.predict(&[0.5]), 0);
+/// assert_eq!(model.predict(&[10.4]), 1);
+/// # Ok::<(), mvs_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    k: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// Memorizes the training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] when `k == 0`,
+    /// [`MlError::EmptyTrainingSet`] for empty input, and
+    /// [`MlError::DimensionMismatch`] when `xs` and `ys` differ in length or
+    /// feature rows are ragged.
+    pub fn fit(k: usize, xs: &[Vec<f64>], ys: &[usize]) -> Result<Self, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidParameter("k must be positive"));
+        }
+        validate_rows(xs)?;
+        if xs.len() != ys.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: xs.len(),
+                found: ys.len(),
+            });
+        }
+        Ok(KnnClassifier {
+            k,
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        })
+    }
+
+    /// Number of neighbours consulted per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Size of the memorized training set.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the training set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn predict(&self, x: &[f64]) -> usize {
+        let neighbours = k_nearest(&self.xs, x, self.k);
+        let mut votes: Vec<(usize, usize)> = Vec::new(); // (label, count)
+        for (i, _) in neighbours {
+            let label = self.ys[i];
+            match votes.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += 1,
+                None => votes.push((label, 1)),
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(l, _)| l)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+/// K-nearest-neighbour multi-output regressor with inverse-distance
+/// weighting.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_ml::{KnnRegressor, Regressor};
+///
+/// let xs = vec![vec![0.0], vec![2.0], vec![4.0]];
+/// let ys = vec![vec![0.0], vec![20.0], vec![40.0]];
+/// let model = KnnRegressor::fit(2, &xs, &ys)?;
+/// let y = model.predict(&[1.0]);
+/// assert!(y[0] > 5.0 && y[0] < 15.0);
+/// # Ok::<(), mvs_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    k: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<Vec<f64>>,
+}
+
+impl KnnRegressor {
+    /// Memorizes the training set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnnClassifier::fit`]; additionally the target
+    /// rows must share one dimensionality.
+    pub fn fit(k: usize, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Result<Self, MlError> {
+        if k == 0 {
+            return Err(MlError::InvalidParameter("k must be positive"));
+        }
+        validate_rows(xs)?;
+        validate_rows(ys)?;
+        if xs.len() != ys.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: xs.len(),
+                found: ys.len(),
+            });
+        }
+        Ok(KnnRegressor {
+            k,
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+        })
+    }
+
+    /// Number of neighbours consulted per query.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn predict(&self, x: &[f64]) -> Vec<f64> {
+        let neighbours = k_nearest(&self.xs, x, self.k);
+        let dim = self.ys[0].len();
+        // Exact hit: return the memorized target (inverse-distance weighting
+        // would divide by zero).
+        if let Some(&(i, _)) = neighbours.iter().find(|&&(_, d)| d < 1e-12) {
+            return self.ys[i].clone();
+        }
+        let mut out = vec![0.0; dim];
+        let mut wsum = 0.0;
+        for (i, d) in neighbours {
+            let w = 1.0 / d;
+            wsum += w;
+            for (o, y) in out.iter_mut().zip(&self.ys[i]) {
+                *o += w * y;
+            }
+        }
+        for o in &mut out {
+            *o /= wsum;
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+fn validate_rows(rows: &[Vec<f64>]) -> Result<(), MlError> {
+    let Some(first) = rows.first() else {
+        return Err(MlError::EmptyTrainingSet);
+    };
+    let d = first.len();
+    for r in rows {
+        if r.len() != d {
+            return Err(MlError::DimensionMismatch {
+                expected: d,
+                found: r.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_majority_vote() {
+        let xs = vec![vec![0.0], vec![0.1], vec![0.2], vec![10.0]];
+        let ys = vec![1, 1, 0, 0];
+        let m = KnnClassifier::fit(3, &xs, &ys).unwrap();
+        // 3 nearest to 0.05 are labels {1,1,0} → majority 1.
+        assert_eq!(m.predict(&[0.05]), 1);
+    }
+
+    #[test]
+    fn classifier_k_larger_than_train() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0, 1];
+        let m = KnnClassifier::fit(10, &xs, &ys).unwrap();
+        // Uses all available points; tie between {0,1} breaks to lower label.
+        assert_eq!(m.predict(&[0.5]), 0);
+    }
+
+    #[test]
+    fn classifier_validates() {
+        assert!(KnnClassifier::fit(0, &[vec![1.0]], &[0]).is_err());
+        assert!(KnnClassifier::fit(1, &[], &[]).is_err());
+        assert!(KnnClassifier::fit(1, &[vec![1.0]], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn regressor_exact_hit_returns_target() {
+        let xs = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let ys = vec![vec![10.0], vec![20.0]];
+        let m = KnnRegressor::fit(2, &xs, &ys).unwrap();
+        assert_eq!(m.predict(&[1.0, 2.0]), vec![10.0]);
+    }
+
+    #[test]
+    fn regressor_interpolates_between_neighbours() {
+        let xs = vec![vec![0.0], vec![10.0]];
+        let ys = vec![vec![0.0], vec![100.0]];
+        let m = KnnRegressor::fit(2, &xs, &ys).unwrap();
+        let y = m.predict(&[5.0])[0];
+        assert!((y - 50.0).abs() < 1e-9); // equidistant → plain average
+        let y = m.predict(&[1.0])[0];
+        assert!(y < 50.0); // closer to 0 → pulled toward 0
+    }
+
+    #[test]
+    fn regressor_multi_output() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![vec![0.0, 1.0], vec![1.0, 2.0], vec![2.0, 3.0]];
+        let m = KnnRegressor::fit(1, &xs, &ys).unwrap();
+        assert_eq!(m.predict(&[1.9]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let train = vec![vec![5.0], vec![1.0], vec![3.0]];
+        let n = k_nearest(&train, &[0.0], 2);
+        assert_eq!(n[0].0, 1);
+        assert_eq!(n[1].0, 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Classification and regression quality metrics.
+
+/// Confusion counts for a binary classification task where label `1` is the
+/// positive class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinaryConfusion {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(pred: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+        let mut c = BinaryConfusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p != 0, t != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP); `1.0` when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); `1.0` when there were no positives.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Convenience wrapper returning `(precision, recall)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn precision_recall(pred: &[usize], truth: &[usize]) -> (f64, f64) {
+    let c = BinaryConfusion::from_predictions(pred, truth);
+    (c.precision(), c.recall())
+}
+
+/// Fraction of matching labels; `0.0` for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/label length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Mean absolute error over flattened multi-output predictions.
+///
+/// This matches the paper's regression metric: MAE between predicted and
+/// ground-truth bounding-box coordinates, averaged over all coordinates of
+/// all test boxes.
+///
+/// # Panics
+///
+/// Panics if the slices (or any paired rows) differ in length, or the input
+/// is empty.
+pub fn mean_absolute_error(pred: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/target length mismatch");
+    assert!(!pred.is_empty(), "MAE of an empty set is undefined");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        assert_eq!(p.len(), t.len(), "row dimension mismatch");
+        for (pi, ti) in p.iter().zip(t) {
+            total += (pi - ti).abs();
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [1, 1, 0, 0, 1];
+        let truth = [1, 0, 0, 1, 1];
+        let c = BinaryConfusion::from_predictions(&pred, &truth);
+        assert_eq!(
+            c,
+            BinaryConfusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_precision_recall() {
+        let c = BinaryConfusion::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn f1_zero_when_nothing_right() {
+        let c = BinaryConfusion::from_predictions(&[1, 1], &[0, 0]);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_flattens_outputs() {
+        let pred = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let truth = vec![vec![2.0, 2.0], vec![3.0, 0.0]];
+        assert!((mean_absolute_error(&pred, &truth) - (1.0 + 0.0 + 0.0 + 4.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mae_rejects_mismatched_lengths() {
+        mean_absolute_error(&[vec![1.0]], &[]);
+    }
+}

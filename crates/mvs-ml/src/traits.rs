@@ -1,0 +1,32 @@
+//! Common model interfaces.
+
+/// A fitted binary (or small multi-class) classifier over dense features.
+///
+/// Labels are `usize` class indices; the association module uses `0` for
+/// "object not visible in the other camera" and `1` for "visible".
+pub trait Classifier {
+    /// Predicts the class label for one feature row.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Predicts labels for a batch of rows.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// A short human-readable model name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A fitted multi-output regressor over dense features.
+pub trait Regressor {
+    /// Predicts the target vector for one feature row.
+    fn predict(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Predicts targets for a batch of rows.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// A short human-readable model name for experiment tables.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,314 @@
+//! CART decision-tree classifier (classification baseline).
+
+use crate::{Classifier, MlError};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A binary CART classifier using Gini impurity.
+///
+/// Axis-aligned splits; `<= threshold` goes left. Deterministic given the
+/// training data.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_ml::{Classifier, DecisionTree, DecisionTreeConfig};
+///
+/// let xs = vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![8.0, 0.0], vec![9.0, 0.0]];
+/// let ys = vec![0, 0, 1, 1];
+/// let tree = DecisionTree::fit(DecisionTreeConfig::default(), &xs, &ys)?;
+/// assert_eq!(tree.predict(&[1.5, 0.0]), 0);
+/// assert_eq!(tree.predict(&[8.5, 0.0]), 1);
+/// # Ok::<(), mvs_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    depth: usize,
+}
+
+impl DecisionTree {
+    /// Grows a tree on the training data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] / [`MlError::DimensionMismatch`]
+    /// for malformed input.
+    pub fn fit(config: DecisionTreeConfig, xs: &[Vec<f64>], ys: &[usize]) -> Result<Self, MlError> {
+        let Some(first) = xs.first() else {
+            return Err(MlError::EmptyTrainingSet);
+        };
+        let d = first.len();
+        if xs.len() != ys.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: xs.len(),
+                found: ys.len(),
+            });
+        }
+        for x in xs {
+            if x.len() != d {
+                return Err(MlError::DimensionMismatch {
+                    expected: d,
+                    found: x.len(),
+                });
+            }
+        }
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let (root, depth) = grow(xs, ys, &indices, 0, &config);
+        Ok(DecisionTree { root, depth })
+    }
+
+    /// Depth actually reached while growing.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, x: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+/// Majority label among the indexed samples (ties to lower label).
+fn majority(ys: &[usize], idx: &[usize]) -> usize {
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for &i in idx {
+        match counts.iter_mut().find(|(l, _)| *l == ys[i]) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((ys[i], 1)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(l, _)| l)
+        .unwrap_or(0)
+}
+
+fn gini(ys: &[usize], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mut counts: Vec<(usize, usize)> = Vec::new();
+    for &i in idx {
+        match counts.iter_mut().find(|(l, _)| *l == ys[i]) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((ys[i], 1)),
+        }
+    }
+    let n = idx.len() as f64;
+    1.0 - counts
+        .into_iter()
+        .map(|(_, c)| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn grow(
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    idx: &[usize],
+    depth: usize,
+    config: &DecisionTreeConfig,
+) -> (Node, usize) {
+    let impurity = gini(ys, idx);
+    if impurity == 0.0 || depth >= config.max_depth || idx.len() < config.min_samples_split {
+        return (
+            Node::Leaf {
+                label: majority(ys, idx),
+            },
+            depth,
+        );
+    }
+    let d = xs[0].len();
+    let n = idx.len() as f64;
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+    #[allow(clippy::needless_range_loop)] // `feature` indexes sample columns, not a slice
+    for feature in 0..d {
+        // Candidate thresholds: midpoints between consecutive sorted values.
+        let mut values: Vec<f64> = idx.iter().map(|&i| xs[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        for pair in values.windows(2) {
+            let threshold = (pair[0] + pair[1]) / 2.0;
+            let left: Vec<usize> = idx
+                .iter()
+                .copied()
+                .filter(|&i| xs[i][feature] <= threshold)
+                .collect();
+            let right: Vec<usize> = idx
+                .iter()
+                .copied()
+                .filter(|&i| xs[i][feature] > threshold)
+                .collect();
+            let score = (left.len() as f64 / n) * gini(ys, &left)
+                + (right.len() as f64 / n) * gini(ys, &right);
+            if best.is_none_or(|(_, _, s)| score < s) {
+                best = Some((feature, threshold, score));
+            }
+        }
+    }
+    // Zero-gain splits are allowed (required for XOR-like labels, where no
+    // single split reduces impurity but depth-two splits separate
+    // perfectly); recursion terminates because each split strictly
+    // partitions the samples and `max_depth` bounds the depth.
+    match best {
+        Some((feature, threshold, score)) if score <= impurity + 1e-12 => {
+            let left_idx: Vec<usize> = idx
+                .iter()
+                .copied()
+                .filter(|&i| xs[i][feature] <= threshold)
+                .collect();
+            let right_idx: Vec<usize> = idx
+                .iter()
+                .copied()
+                .filter(|&i| xs[i][feature] > threshold)
+                .collect();
+            let (left, dl) = grow(xs, ys, &left_idx, depth + 1, config);
+            let (right, dr) = grow(xs, ys, &right_idx, depth + 1, config);
+            (
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+                dl.max(dr),
+            )
+        }
+        _ => (
+            Node::Leaf {
+                label: majority(ys, idx),
+            },
+            depth,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_leaf_short_circuits() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1, 1, 1];
+        let t = DecisionTree::fit(DecisionTreeConfig::default(), &xs, &ys).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn axis_aligned_split() {
+        let xs = vec![vec![1.0], vec![2.0], vec![8.0], vec![9.0]];
+        let ys = vec![0, 0, 1, 1];
+        let t = DecisionTree::fit(DecisionTreeConfig::default(), &xs, &ys).unwrap();
+        assert_eq!(t.predict(&[0.0]), 0);
+        assert_eq!(t.predict(&[10.0]), 1);
+    }
+
+    #[test]
+    fn xor_requires_depth_two() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![0, 1, 1, 0];
+        let t = DecisionTree::fit(
+            DecisionTreeConfig {
+                max_depth: 3,
+                min_samples_split: 2,
+            },
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(t.predict(x), y, "xor point {x:?}");
+        }
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..64).map(|i| (i % 2) as usize).collect();
+        let t = DecisionTree::fit(
+            DecisionTreeConfig {
+                max_depth: 2,
+                min_samples_split: 2,
+            },
+            &xs,
+            &ys,
+        )
+        .unwrap();
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(DecisionTree::fit(DecisionTreeConfig::default(), &[], &[]).is_err());
+        assert!(DecisionTree::fit(DecisionTreeConfig::default(), &[vec![1.0]], &[0, 1]).is_err());
+        assert!(DecisionTree::fit(
+            DecisionTreeConfig::default(),
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[0, 1]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the ML toolbox.
+
+use mvs_ml::{
+    hungarian, hungarian_max, Classifier, KnnClassifier, KnnRegressor, LinearRegression, Matrix,
+    Regressor,
+};
+use proptest::prelude::*;
+
+fn arb_cost_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, n), n)
+}
+
+fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+    fn rec(cost: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == cost.len() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for col in 0..cost.len() {
+            if !used[col] {
+                used[col] = true;
+                best = best.min(cost[row][col] + rec(cost, row + 1, used));
+                used[col] = false;
+            }
+        }
+        best
+    }
+    rec(cost, 0, &mut vec![false; cost.len()])
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force(cost in arb_cost_matrix(4)) {
+        let a = hungarian(&cost).expect("finite costs");
+        let best = brute_force_min(&cost);
+        prop_assert!((a.total - best).abs() < 1e-9, "hungarian {} vs brute {}", a.total, best);
+    }
+
+    #[test]
+    fn hungarian_assignment_is_a_matching(cost in arb_cost_matrix(5)) {
+        let a = hungarian(&cost).expect("finite costs");
+        let mut cols: Vec<usize> = a.pairs.iter().filter_map(|c| *c).collect();
+        let before = cols.len();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), before, "columns must be distinct");
+        prop_assert_eq!(before, 5, "square matrices yield perfect matchings");
+    }
+
+    #[test]
+    fn hungarian_max_equals_negated_min(cost in arb_cost_matrix(4)) {
+        let max = hungarian_max(&cost).expect("finite costs");
+        let neg: Vec<Vec<f64>> = cost.iter().map(|r| r.iter().map(|v| -v).collect()).collect();
+        let min = hungarian(&neg).expect("finite costs");
+        prop_assert!((max.total + min.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_classifier_memorizes_training_points(
+        points in prop::collection::vec(((-100.0f64..100.0), (-100.0f64..100.0)), 4..30),
+    ) {
+        // Deduplicate locations so each point has an unambiguous label.
+        let mut seen: Vec<(f64, f64)> = Vec::new();
+        for p in &points {
+            if !seen.iter().any(|q| (q.0 - p.0).abs() < 1.0 && (q.1 - p.1).abs() < 1.0) {
+                seen.push(*p);
+            }
+        }
+        prop_assume!(seen.len() >= 2);
+        let xs: Vec<Vec<f64>> = seen.iter().map(|&(x, y)| vec![x, y]).collect();
+        let ys: Vec<usize> = (0..seen.len()).map(|i| i % 2).collect();
+        let model = KnnClassifier::fit(1, &xs, &ys).expect("valid training data");
+        for (x, &y) in xs.iter().zip(&ys) {
+            prop_assert_eq!(model.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn knn_regressor_prediction_is_within_target_hull(
+        targets in prop::collection::vec(-50.0f64..50.0, 3..20),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..targets.len()).map(|i| vec![i as f64]).collect();
+        let ys: Vec<Vec<f64>> = targets.iter().map(|&t| vec![t]).collect();
+        let model = KnnRegressor::fit(3, &xs, &ys).expect("valid training data");
+        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for q in [-5.0, 0.5, targets.len() as f64 + 3.0] {
+            let p = model.predict(&[q])[0];
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9,
+                "prediction {p} outside hull [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn linear_regression_recovers_exact_affine_maps(
+        w0 in -5.0f64..5.0,
+        w1 in -5.0f64..5.0,
+        b in -10.0f64..10.0,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![w0 * x[0] + w1 * x[1] + b]).collect();
+        let model = LinearRegression::fit(&xs, &ys).expect("well-posed");
+        let probe = vec![7.0, -3.0];
+        let expected = w0 * 7.0 + w1 * -3.0 + b;
+        prop_assert!((model.predict(&probe)[0] - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matrix_solve_inverts_matvec(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 3),
+        x in prop::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let a = Matrix::from_rows(&rows).expect("well-formed");
+        let b = a.matvec(&x).expect("dimensions match");
+        // Singular matrices legitimately fail; otherwise solve must invert.
+        if let Ok(solved) = a.solve(&b) {
+            let again = a.matvec(&solved).expect("dimensions match");
+            for (u, v) in again.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 4), 2),
+    ) {
+        let a = Matrix::from_rows(&rows).expect("well-formed");
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}

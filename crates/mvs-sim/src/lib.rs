@@ -1,0 +1,58 @@
+//! Multi-camera world simulator and end-to-end pipeline runtime.
+//!
+//! Stands in for the paper's physical evaluation setup (the AI City
+//! Challenge 2021 videos played on a five-board Jetson testbed) — see
+//! DESIGN.md for the substitution argument. The crate provides:
+//!
+//! * [`World`] / [`Lane`] — vehicles on routes with car-following and
+//!   traffic lights (Fig. 2 workload dynamics);
+//! * [`CameraModel`] — static cameras with ground-plane pinhole projection
+//!   and depth-order occlusion;
+//! * [`Scenario`] — the paper's deployments S1/S2/S3 with the Table I
+//!   device configurations;
+//! * [`CorrespondenceData`] / [`TrainedAssociation`] — the half/half
+//!   association-model training protocol;
+//! * [`MaskPrecompute`] / [`StaticWorldPartition`] — distributed-stage
+//!   masks and the SP baseline's offline allocation;
+//! * [`NetworkModel`] — the 20/100 Mbps camera↔scheduler link;
+//! * [`run_pipeline`] — the full frame-by-frame system (Fig. 5) for every
+//!   algorithm in the paper's comparison set.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mvs_sim::{run_pipeline, Algorithm, PipelineConfig, Scenario, ScenarioKind};
+//!
+//! let scenario = Scenario::new(ScenarioKind::S2);
+//! let result = run_pipeline(&scenario, &PipelineConfig::paper_default(Algorithm::Balb));
+//! println!("recall {:.3}, latency {:.1} ms", result.recall, result.mean_latency_ms);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod camera;
+mod correspond;
+mod masks;
+mod messages;
+mod network;
+mod render;
+mod response;
+mod runtime;
+mod scenario;
+mod trajectory;
+mod world;
+
+pub use camera::CameraModel;
+pub use correspond::{CorrespondenceData, TrainedAssociation};
+pub use masks::{MaskPrecompute, StaticWorldPartition};
+pub use messages::{AssignmentMessage, ObjectRecord, UploadMessage};
+pub use network::{NetworkModel, BYTES_PER_OBJECT, MESSAGE_HEADER_BYTES};
+pub use render::render_ascii;
+pub use response::{replay_response, QueuePolicy, ResponseStats};
+pub use runtime::{
+    run_pipeline, Algorithm, OverheadModel, PipelineConfig, PipelineResult, PipelineStats,
+};
+pub use scenario::{Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
+pub use trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};
+pub use world::{Lane, World, WorldObject};

@@ -1,0 +1,344 @@
+//! Mask precomputation and the static world partition.
+//!
+//! Cell coverage sets depend only on the (static) camera deployment and the
+//! trained cross-camera models, so they are computed once per run; per
+//! horizon, only the priority-based owner selection changes (Sec. III-C2).
+//! The same module hosts the geometric static partition used by the SP
+//! baseline: an offline, processing-power-proportional division of the
+//! ground plane among the cameras that cover it.
+
+use crate::correspond::CorrespondenceData;
+use mvs_core::{CameraId, CameraMask};
+#[cfg(test)]
+use mvs_geometry::BBox;
+use mvs_geometry::{FrameDims, Grid, Point2, Polygon};
+use serde::{Deserialize, Serialize};
+
+/// Precomputed per-camera, per-cell coverage sets.
+#[derive(Debug, Clone)]
+pub struct MaskPrecompute {
+    grids: Vec<Grid>,
+    /// `coverage[cam][cell]` = cameras (by index) that observe the world
+    /// region behind this cell of `cam`'s frame, **excluding** `cam`
+    /// itself (which trivially covers its own cells).
+    coverage: Vec<Vec<Vec<usize>>>,
+    /// `canon_frac[cam][cell]` = a cross-camera-consistent coordinate of
+    /// the world region behind the cell, in `[0, 1]`: the cell's location
+    /// mapped into the lowest-indexed covering camera's frame, normalized
+    /// by that frame's width. Two cameras looking at the same world spot
+    /// derive (model errors aside) the same value, which lets the SP
+    /// baseline cut *contiguous*, cross-camera-consistent regions without
+    /// runtime communication.
+    canon_frac: Vec<Vec<f64>>,
+}
+
+impl MaskPrecompute {
+    /// Minimum labeled objects a cell must have seen before another
+    /// camera can be credited with covering it.
+    const MIN_SAMPLES: usize = 3;
+    /// Fraction of a cell's objects the other camera must have observed to
+    /// count as covering the cell.
+    const COVER_FRACTION: f64 = 0.5;
+
+    /// Builds per-cell coverage statistics from the labeled correspondence
+    /// data (the same training labels the association models use): for
+    /// every cell of every camera's frame, camera `j` covers the cell iff
+    /// it observed at least half of the labeled objects centred there
+    /// (minimum three samples). Cells that never contained an object are
+    /// conservatively owned by their own camera.
+    pub fn build(frames: &[FrameDims], data: &CorrespondenceData, cell_px: u32) -> MaskPrecompute {
+        let m = frames.len();
+        let grids: Vec<Grid> = frames.iter().map(|&f| Grid::new(f, cell_px)).collect();
+        // seen[cam][cell][other] = (visible-in-other, total) counts, plus
+        // the sum of the mapped canonical x for visible pairs.
+        let mut totals: Vec<Vec<usize>> = grids.iter().map(|g| vec![0; g.len()]).collect();
+        let mut visible: Vec<Vec<Vec<usize>>> =
+            grids.iter().map(|g| vec![vec![0; m]; g.len()]).collect();
+        let mut dst_x_sum: Vec<Vec<Vec<f64>>> =
+            grids.iter().map(|g| vec![vec![0.0; m]; g.len()]).collect();
+        for (&(src, dst), samples) in &data.pairs {
+            for s in samples {
+                let Some(cell) = grids[src].cell_at(s.src.center()) else {
+                    continue;
+                };
+                // Totals are per source camera; count them once (for the
+                // lowest dst index) to avoid multiplying by (m-1).
+                if dst == (0..m).find(|&j| j != src).unwrap_or(dst) {
+                    totals[src][cell.0] += 1;
+                }
+                if let Some(d) = s.dst {
+                    visible[src][cell.0][dst] += 1;
+                    dst_x_sum[src][cell.0][dst] += d.center().x;
+                }
+            }
+        }
+        let mut coverage = Vec::with_capacity(m);
+        let mut canon_frac = Vec::with_capacity(m);
+        for cam in 0..m {
+            let grid = &grids[cam];
+            let mut per_cell = Vec::with_capacity(grid.len());
+            let mut per_cell_frac = Vec::with_capacity(grid.len());
+            for cell in grid.iter() {
+                let total = totals[cam][cell.0];
+                let covered: Vec<usize> = (0..m)
+                    .filter(|&other| {
+                        other != cam
+                            && total >= Self::MIN_SAMPLES
+                            && visible[cam][cell.0][other] as f64
+                                >= Self::COVER_FRACTION * total as f64
+                    })
+                    .collect();
+                // Canonical coordinate: this world spot as seen from the
+                // lowest-indexed camera that covers it (empirical mean of
+                // the labeled mappings).
+                let canon_cam = covered.iter().copied().min().unwrap_or(cam).min(cam);
+                let canon_x = if canon_cam == cam {
+                    grid.cell_center(cell).x
+                } else {
+                    dst_x_sum[cam][cell.0][canon_cam]
+                        / visible[cam][cell.0][canon_cam].max(1) as f64
+                };
+                let width = frames[canon_cam].width as f64;
+                per_cell_frac.push((canon_x / width).clamp(0.0, 1.0));
+                per_cell.push(covered);
+            }
+            coverage.push(per_cell);
+            canon_frac.push(per_cell_frac);
+        }
+        MaskPrecompute {
+            grids,
+            coverage,
+            canon_frac,
+        }
+    }
+
+    /// Number of cameras.
+    pub fn num_cameras(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// Builds the distributed-stage mask for `camera` under the given
+    /// priority order (cheap — just owner selection over the precomputed
+    /// coverage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `camera` is out of range or absent from `priority`.
+    pub fn mask_for(&self, camera: usize, priority: &[CameraId]) -> CameraMask {
+        let grid = self.grids[camera].clone();
+        let coverage = &self.coverage[camera];
+        CameraMask::build(
+            CameraId(camera),
+            grid.clone(),
+            priority,
+            |c, p| match grid.cell_at(p) {
+                Some(cell) => coverage[cell.0].contains(&c.0),
+                None => false,
+            },
+        )
+    }
+
+    /// Builds the *static partitioning* masks (one per camera): each
+    /// overlap region — the cells sharing one coverage set — is divided
+    /// offline among its covering cameras into **contiguous bands** whose
+    /// widths are proportional to the given processing-power `weights`.
+    /// A cell's band position is its percentile (by canonical coordinate)
+    /// within its overlap region, so the split is proportional regardless
+    /// of where the region sits in the canonical frame. The allocation
+    /// never depends on load — the property the paper's SP baseline is
+    /// defined by — and all cameras derive the same bands from the same
+    /// synchronized models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not have one entry per camera.
+    pub fn sp_masks(&self, weights: &[f64]) -> Vec<CameraMask> {
+        assert_eq!(
+            weights.len(),
+            self.num_cameras(),
+            "one weight per camera required"
+        );
+        // Gather the canonical-coordinate distribution of every overlap
+        // region (keyed by its full candidate set) across all cameras.
+        let mut groups: std::collections::BTreeMap<Vec<usize>, Vec<f64>> = Default::default();
+        for cam in 0..self.num_cameras() {
+            for cell in self.grids[cam].iter() {
+                let key = self.candidates(cam, cell.0);
+                groups
+                    .entry(key)
+                    .or_default()
+                    .push(self.canon_frac[cam][cell.0]);
+            }
+        }
+        for fracs in groups.values_mut() {
+            fracs.sort_by(|a, b| a.partial_cmp(b).expect("finite fracs"));
+        }
+        (0..self.num_cameras())
+            .map(|cam| {
+                let grid = self.grids[cam].clone();
+                let owners = grid
+                    .iter()
+                    .map(|cell| {
+                        let candidates = self.candidates(cam, cell.0);
+                        let fracs = &groups[&candidates];
+                        let frac = self.canon_frac[cam][cell.0];
+                        let rank = fracs.partition_point(|&f| f < frac);
+                        let pct = (rank as f64 + 0.5) / fracs.len() as f64;
+                        let total: f64 = candidates.iter().map(|&c| weights[c]).sum();
+                        let mut acc = 0.0;
+                        let mut winner = *candidates.last().expect("self is a candidate");
+                        for &c in &candidates {
+                            acc += weights[c] / total;
+                            if pct <= acc {
+                                winner = c;
+                                break;
+                            }
+                        }
+                        CameraId(winner)
+                    })
+                    .collect();
+                CameraMask::from_owners(CameraId(cam), grid, owners)
+            })
+            .collect()
+    }
+
+    /// Sorted, deduplicated covering cameras of a cell, including the
+    /// cell's own camera.
+    fn candidates(&self, cam: usize, cell: usize) -> Vec<usize> {
+        let mut candidates = self.coverage[cam][cell].clone();
+        candidates.push(cam);
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates
+    }
+}
+
+/// Offline static partition of the ground plane (the SP baseline).
+///
+/// Each point of the monitored region is owned by one of the cameras whose
+/// view polygon contains it, chosen by a *multiplicatively weighted
+/// Voronoi* rule: the covering camera minimizing
+/// `distance(point, view centroid) / speed_score` wins. Faster devices
+/// therefore receive proportionally larger **contiguous** regions around
+/// their own views — the realistic shape of an offline spatial partition —
+/// and the allocation never reacts to the current load, which is exactly
+/// the weakness BALB exploits (a platoon parked inside one camera's region
+/// spikes that camera's latency while its neighbours idle).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaticWorldPartition {
+    views: Vec<Polygon>,
+    anchors: Vec<Point2>,
+    weights: Vec<f64>,
+}
+
+impl StaticWorldPartition {
+    /// Creates a partition from the cameras' view polygons and their speed
+    /// scores. Anchors default to the view polygons' bounding-box centres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty/mismatched or a weight is not positive.
+    pub fn new(views: Vec<Polygon>, weights: Vec<f64>) -> Self {
+        assert!(!views.is_empty(), "need at least one camera view");
+        assert_eq!(views.len(), weights.len(), "one weight per view required");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let anchors = views.iter().map(|v| v.bbox().center()).collect();
+        StaticWorldPartition {
+            views,
+            anchors,
+            weights,
+        }
+    }
+
+    /// The camera owning `pos`, or `None` when no camera covers it.
+    pub fn owner(&self, pos: Point2) -> Option<usize> {
+        self.views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.contains(pos))
+            .map(|(i, _)| (i, self.anchors[i].distance(pos) / self.weights[i]))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(x1: f64, y1: f64, x2: f64, y2: f64) -> Polygon {
+        Polygon::rectangle(&BBox::new(x1, y1, x2, y2).unwrap())
+    }
+
+    #[test]
+    fn partition_respects_coverage() {
+        let p = StaticWorldPartition::new(
+            vec![square(0.0, 0.0, 50.0, 50.0), square(40.0, 0.0, 100.0, 50.0)],
+            vec![1.0, 1.0],
+        );
+        // Only camera 0 covers the far left.
+        assert_eq!(p.owner(Point2::new(5.0, 25.0)), Some(0));
+        // Only camera 1 covers the far right.
+        assert_eq!(p.owner(Point2::new(90.0, 25.0)), Some(1));
+        // Nobody covers the outside.
+        assert_eq!(p.owner(Point2::new(500.0, 500.0)), None);
+        // Overlap points belong to exactly one of the two.
+        let o = p.owner(Point2::new(45.0, 25.0)).unwrap();
+        assert!(o == 0 || o == 1);
+    }
+
+    #[test]
+    fn partition_is_contiguous_around_anchors() {
+        let p = StaticWorldPartition::new(
+            vec![square(0.0, 0.0, 100.0, 50.0), square(0.0, 0.0, 100.0, 50.0)],
+            vec![1.0, 1.0],
+        );
+        // Identical views share one anchor → a single camera owns all of
+        // it (ties break deterministically); with shifted views each side
+        // belongs to the nearer camera.
+        let shifted = StaticWorldPartition::new(
+            vec![square(0.0, 0.0, 60.0, 50.0), square(40.0, 0.0, 100.0, 50.0)],
+            vec![1.0, 1.0],
+        );
+        assert_eq!(shifted.owner(Point2::new(42.0, 25.0)), Some(0));
+        assert_eq!(shifted.owner(Point2::new(58.0, 25.0)), Some(1));
+        let _ = p;
+    }
+
+    #[test]
+    fn weights_skew_allocation() {
+        let p = StaticWorldPartition::new(
+            vec![
+                square(0.0, 0.0, 200.0, 200.0),
+                square(100.0, 0.0, 300.0, 200.0),
+            ],
+            vec![5.0, 1.0],
+        );
+        // Count ownership over the overlap strip: the fast camera's region
+        // must reach far beyond the midpoint.
+        let mut counts = [0usize; 2];
+        for i in 0..40 {
+            for j in 0..40 {
+                let pos = Point2::new(
+                    102.0 + (196.0 - 4.0) * i as f64 / 40.0 / 2.0,
+                    2.5 + 4.875 * j as f64,
+                );
+                if let Some(o) = p.owner(pos) {
+                    counts[o] += 1;
+                }
+            }
+        }
+        assert!(
+            counts[0] > counts[1],
+            "fast camera got {} points vs {}",
+            counts[0],
+            counts[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per view")]
+    fn validates_weight_count() {
+        StaticWorldPartition::new(vec![square(0.0, 0.0, 1.0, 1.0)], vec![]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Camera↔scheduler network model.
+//!
+//! The paper's testbed connects the Jetson boards to the central scheduler
+//! over a wired link with 100 Mbps downlink and 20 Mbps uplink. Cameras
+//! upload detected-object lists at key frames and receive assignments back;
+//! this module meters those messages so the Table II central-stage
+//! overhead includes communication time.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric-latency, asymmetric-bandwidth link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Camera → scheduler bandwidth, megabits per second.
+    pub uplink_mbps: f64,
+    /// Scheduler → camera bandwidth, megabits per second.
+    pub downlink_mbps: f64,
+    /// One-way propagation + processing latency, ms.
+    pub one_way_ms: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // The paper's testbed: 100 Mbps down, 20 Mbps up; wired LAN RTT.
+        NetworkModel {
+            uplink_mbps: 20.0,
+            downlink_mbps: 100.0,
+            one_way_ms: 0.5,
+        }
+    }
+}
+
+/// Serialized size of one detected-object record (box coordinates, ids,
+/// confidence — a compact binary encoding).
+pub const BYTES_PER_OBJECT: usize = 40;
+/// Fixed per-message envelope (headers, frame id, camera id, checksums).
+pub const MESSAGE_HEADER_BYTES: usize = 96;
+
+impl NetworkModel {
+    /// Time to upload `bytes` from a camera to the scheduler, ms.
+    pub fn uplink_ms(&self, bytes: usize) -> f64 {
+        self.one_way_ms + (bytes as f64 * 8.0) / (self.uplink_mbps * 1e6) * 1e3
+    }
+
+    /// Time to push `bytes` from the scheduler to a camera, ms.
+    pub fn downlink_ms(&self, bytes: usize) -> f64 {
+        self.one_way_ms + (bytes as f64 * 8.0) / (self.downlink_mbps * 1e6) * 1e3
+    }
+
+    /// Size of an object-list message carrying `num_objects` records.
+    pub fn object_list_bytes(num_objects: usize) -> usize {
+        MESSAGE_HEADER_BYTES + num_objects * BYTES_PER_OBJECT
+    }
+
+    /// Key-frame round-trip for one camera: upload its `uploaded` objects,
+    /// receive an assignment covering `assigned` objects.
+    pub fn key_frame_round_trip_ms(&self, uploaded: usize, assigned: usize) -> f64 {
+        self.uplink_ms(Self::object_list_bytes(uploaded))
+            + self.downlink_ms(Self::object_list_bytes(assigned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplink_is_slower_than_downlink() {
+        let n = NetworkModel::default();
+        let bytes = NetworkModel::object_list_bytes(50);
+        assert!(n.uplink_ms(bytes) > n.downlink_ms(bytes));
+    }
+
+    #[test]
+    fn times_scale_with_size() {
+        let n = NetworkModel::default();
+        assert!(n.uplink_ms(10_000) > n.uplink_ms(100));
+        // 20 Mbps = 2.5 MB/s → 25 kB ≈ 10 ms + latency.
+        let ms = n.uplink_ms(25_000);
+        assert!((ms - (0.5 + 10.0)).abs() < 0.1, "got {ms}");
+    }
+
+    #[test]
+    fn empty_message_still_pays_header_and_latency() {
+        let n = NetworkModel::default();
+        let ms = n.uplink_ms(NetworkModel::object_list_bytes(0));
+        assert!(ms > n.one_way_ms);
+        assert!(ms < 1.0);
+    }
+
+    #[test]
+    fn round_trip_combines_directions() {
+        let n = NetworkModel::default();
+        let rt = n.key_frame_round_trip_ms(10, 5);
+        let manual = n.uplink_ms(NetworkModel::object_list_bytes(10))
+            + n.downlink_ms(NetworkModel::object_list_bytes(5));
+        assert_eq!(rt, manual);
+    }
+}

@@ -1,0 +1,125 @@
+//! ASCII rendering of camera frames — a terminal visualization aid for
+//! examples and debugging (no counterpart in the paper).
+
+use mvs_geometry::{BBox, FrameDims};
+
+/// Renders a camera frame as ASCII art.
+///
+/// Ground-truth boxes are drawn with `#`, tracked boxes with `*`; where a
+/// track overlaps ground truth the cell shows `@` (a well-localized
+/// track). Output is `rows` lines of `cols` characters plus a border.
+///
+/// # Panics
+///
+/// Panics if `cols` or `rows` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::{BBox, FrameDims};
+/// use mvs_sim::render_ascii;
+///
+/// let gt = [BBox::new(100.0, 100.0, 300.0, 300.0)?];
+/// let art = render_ascii(FrameDims::REGULAR, &gt, &[], 64, 18);
+/// assert!(art.contains('#'));
+/// # Ok::<(), mvs_geometry::BBoxError>(())
+/// ```
+pub fn render_ascii(
+    frame: FrameDims,
+    ground_truth: &[BBox],
+    tracks: &[BBox],
+    cols: usize,
+    rows: usize,
+) -> String {
+    assert!(cols > 0 && rows > 0, "render size must be positive");
+    let mut cells = vec![vec![' '; cols]; rows];
+    let sx = frame.width as f64 / cols as f64;
+    let sy = frame.height as f64 / rows as f64;
+    let mut paint = |b: &BBox, mark: char| {
+        let c1 = (b.x1() / sx).floor().max(0.0) as usize;
+        let r1 = (b.y1() / sy).floor().max(0.0) as usize;
+        let c2 = ((b.x2() / sx).ceil() as usize).min(cols).max(c1 + 1);
+        let r2 = ((b.y2() / sy).ceil() as usize).min(rows).max(r1 + 1);
+        for row in cells.iter_mut().take(r2.min(rows)).skip(r1.min(rows - 1)) {
+            for cell in row.iter_mut().take(c2).skip(c1.min(cols - 1)) {
+                *cell = match (*cell, mark) {
+                    ('#', '*') | ('*', '#') | ('@', _) => '@',
+                    (_, m) => m,
+                };
+            }
+        }
+    };
+    for b in ground_truth {
+        paint(b, '#');
+    }
+    for b in tracks {
+        paint(b, '*');
+    }
+    let mut out = String::with_capacity((cols + 3) * (rows + 2));
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in &cells {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push('+');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x1: f64, y1: f64, x2: f64, y2: f64) -> BBox {
+        BBox::new(x1, y1, x2, y2).unwrap()
+    }
+
+    #[test]
+    fn empty_frame_is_blank_with_border() {
+        let art = render_ascii(FrameDims::REGULAR, &[], &[], 10, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6); // 4 rows + 2 border lines
+        assert_eq!(lines[0], "+----------+");
+        assert!(lines[1].starts_with('|') && lines[1].ends_with('|'));
+        assert!(!art.contains('#'));
+    }
+
+    #[test]
+    fn ground_truth_and_tracks_use_distinct_marks() {
+        let gt = [bb(0.0, 0.0, 320.0, 176.0)]; // top-left quadrant-ish
+        let tracks = [bb(960.0, 528.0, 1280.0, 704.0)]; // bottom-right
+        let art = render_ascii(FrameDims::REGULAR, &gt, &tracks, 40, 12);
+        assert!(art.contains('#'));
+        assert!(art.contains('*'));
+        assert!(!art.contains('@'), "disjoint boxes must not blend");
+    }
+
+    #[test]
+    fn overlap_renders_as_at_sign() {
+        let gt = [bb(100.0, 100.0, 400.0, 400.0)];
+        let tracks = [bb(120.0, 110.0, 410.0, 390.0)];
+        let art = render_ascii(FrameDims::REGULAR, &gt, &tracks, 40, 12);
+        assert!(art.contains('@'));
+    }
+
+    #[test]
+    fn boxes_partially_out_of_frame_are_clipped() {
+        let gt = [bb(-100.0, -100.0, 64.0, 64.0)];
+        let art = render_ascii(FrameDims::REGULAR, &gt, &[], 20, 8);
+        assert!(art.contains('#'));
+        // Every line stays within the border width.
+        for line in art.lines() {
+            assert!(line.chars().count() <= 22);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "render size must be positive")]
+    fn zero_size_panics() {
+        render_ascii(FrameDims::REGULAR, &[], &[], 0, 5);
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end response delay and effective frame rate.
+//!
+//! The paper's motivation (Sec. I): *"Faster frame processing speed not
+//! only improves the object recognition and tracking fidelity, but also
+//! helps reduce the end-to-end system response delay to physical events.
+//! Supporting a higher frame rate entails lowering frame processing
+//! latency."* This module makes that argument quantitative: it replays a
+//! per-frame DNN-latency series through a single-GPU queueing model and
+//! reports what a camera actually delivers — completion delay relative to
+//! capture time and the frame rate it sustains.
+
+use serde::{Deserialize, Serialize};
+
+/// What the camera does when a new frame arrives while the GPU is busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueuePolicy {
+    /// Frames wait in FIFO order (delay grows without bound when the GPU
+    /// is oversubscribed).
+    Queue,
+    /// Only the latest frame is kept; older waiting frames are dropped
+    /// (the standard live-analytics policy — stale frames are worthless).
+    DropToLatest,
+}
+
+/// Replay statistics for one camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Frames whose processing completed.
+    pub processed: usize,
+    /// Frames dropped before processing (always 0 under [`QueuePolicy::Queue`]).
+    pub dropped: usize,
+    /// Mean capture→completion delay of processed frames, ms.
+    pub mean_delay_ms: f64,
+    /// Worst capture→completion delay, ms.
+    pub max_delay_ms: f64,
+    /// Frames processed per second of capture time.
+    pub effective_fps: f64,
+}
+
+/// Replays a per-frame DNN latency series through a single-GPU queue.
+///
+/// Frame `k` is captured at `k × frame_period_ms`; the GPU processes one
+/// frame at a time, taking the series' latency for that frame. Zero-latency
+/// frames still complete (instantaneously).
+///
+/// # Panics
+///
+/// Panics if the period is not positive or any latency is negative/not
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_sim::{replay_response, QueuePolicy};
+///
+/// // A camera that needs 250 ms per frame at a 100 ms capture period can
+/// // only keep up with every third frame.
+/// let latencies = vec![250.0; 30];
+/// let stats = replay_response(&latencies, 100.0, QueuePolicy::DropToLatest);
+/// assert!(stats.effective_fps < 5.0);
+/// assert!(stats.dropped > 0);
+/// ```
+pub fn replay_response(
+    latency_series_ms: &[f64],
+    frame_period_ms: f64,
+    policy: QueuePolicy,
+) -> ResponseStats {
+    assert!(frame_period_ms > 0.0, "frame period must be positive");
+    assert!(
+        latency_series_ms
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0),
+        "latencies must be finite and non-negative"
+    );
+    let mut gpu_free_at = 0.0f64;
+    let mut pending: Option<(usize, f64)> = None; // (frame index, capture time)
+    let mut processed = 0usize;
+    let mut dropped = 0usize;
+    let mut total_delay = 0.0;
+    let mut max_delay = 0.0f64;
+
+    let mut start = |frame: usize, captured: f64, gpu_free_at: &mut f64| {
+        let begin = gpu_free_at.max(captured);
+        let done = begin + latency_series_ms[frame];
+        *gpu_free_at = done;
+        let delay = done - captured;
+        total_delay += delay;
+        max_delay = max_delay.max(delay);
+        processed += 1;
+    };
+
+    for (frame, _) in latency_series_ms.iter().enumerate() {
+        let captured = frame as f64 * frame_period_ms;
+        // Drain whatever the policy kept, if the GPU freed up by now.
+        if let Some((pframe, pcaptured)) = pending {
+            if gpu_free_at <= captured {
+                start(pframe, pcaptured, &mut gpu_free_at);
+                pending = None;
+            }
+        }
+        if gpu_free_at <= captured {
+            start(frame, captured, &mut gpu_free_at);
+        } else {
+            match policy {
+                QueuePolicy::Queue => {
+                    // FIFO: process as soon as the GPU frees, in order.
+                    start(frame, captured, &mut gpu_free_at);
+                }
+                QueuePolicy::DropToLatest => {
+                    if pending.take().is_some() {
+                        dropped += 1;
+                    }
+                    pending = Some((frame, captured));
+                }
+            }
+        }
+    }
+    if let Some((pframe, pcaptured)) = pending {
+        start(pframe, pcaptured, &mut gpu_free_at);
+    }
+    drop(start);
+
+    let capture_span_s = latency_series_ms.len() as f64 * frame_period_ms / 1e3;
+    ResponseStats {
+        processed,
+        dropped,
+        mean_delay_ms: if processed > 0 {
+            total_delay / processed as f64
+        } else {
+            0.0
+        },
+        max_delay_ms: max_delay,
+        effective_fps: processed as f64 / capture_span_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_camera_keeps_up() {
+        // 40 ms work at a 100 ms period: no queueing, delay = latency.
+        let stats = replay_response(&[40.0; 50], 100.0, QueuePolicy::DropToLatest);
+        assert_eq!(stats.processed, 50);
+        assert_eq!(stats.dropped, 0);
+        assert!((stats.mean_delay_ms - 40.0).abs() < 1e-9);
+        assert!((stats.effective_fps - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversubscribed_camera_drops_under_drop_policy() {
+        // 650 ms work at a 100 ms period: roughly one frame in 6.5 works.
+        let stats = replay_response(&[650.0; 100], 100.0, QueuePolicy::DropToLatest);
+        assert!(stats.dropped > 50, "dropped {}", stats.dropped);
+        assert!(stats.effective_fps < 2.0, "fps {}", stats.effective_fps);
+        // Delay stays bounded: the latest-frame policy never lets a frame
+        // wait behind more than one in-flight inspection.
+        assert!(stats.max_delay_ms < 2.0 * 650.0 + 100.0);
+    }
+
+    #[test]
+    fn oversubscribed_queue_policy_delay_grows_without_bound() {
+        let q = replay_response(&[650.0; 100], 100.0, QueuePolicy::Queue);
+        assert_eq!(q.processed, 100);
+        assert_eq!(q.dropped, 0);
+        // The 100th frame waits behind 99 others.
+        assert!(q.max_delay_ms > 50_000.0);
+    }
+
+    #[test]
+    fn mixed_series_matches_hand_computation() {
+        // Frames at t=0,100,200 with latencies 150, 30, 10 (drop policy):
+        // f0: 0→150 (delay 150). f1 (t=100): busy until 150 → pending;
+        // f2 (t=200): gpu free at 150 ≤ 200 → pending f1 starts at 150,
+        // done 180 (delay 80); then f2 at 200→210 (delay 10).
+        let stats = replay_response(&[150.0, 30.0, 10.0], 100.0, QueuePolicy::DropToLatest);
+        assert_eq!(stats.processed, 3);
+        assert_eq!(stats.dropped, 0);
+        assert!((stats.mean_delay_ms - (150.0 + 80.0 + 10.0) / 3.0).abs() < 1e-9);
+        assert!((stats.max_delay_ms - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series_is_benign() {
+        let stats = replay_response(&[], 100.0, QueuePolicy::Queue);
+        assert_eq!(stats.processed, 0);
+        assert_eq!(stats.mean_delay_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame period must be positive")]
+    fn rejects_zero_period() {
+        replay_response(&[1.0], 0.0, QueuePolicy::Queue);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_latency() {
+        replay_response(&[-1.0], 100.0, QueuePolicy::Queue);
+    }
+}

@@ -1,0 +1,1052 @@
+//! The end-to-end frame-by-frame pipeline (Fig. 5).
+//!
+//! Drives a [`Scenario`] through the full system: key frames run full-frame
+//! inspection, upload object lists to the central scheduler, associate
+//! across cameras, and run the BALB central stage; regular frames run
+//! optical-flow tracking, tracking-based slicing, batched partial-frame
+//! inspection, and the BALB distributed stage (camera masks, new-object
+//! probing, takeover). The same runtime executes every baseline of the
+//! paper's evaluation, selected by [`Algorithm`].
+
+use crate::correspond::{CorrespondenceData, TrainedAssociation};
+use crate::masks::{MaskPrecompute, StaticWorldPartition};
+use crate::messages::{AssignmentMessage, ObjectRecord, UploadMessage};
+use crate::network::NetworkModel;
+use crate::scenario::Scenario;
+use crate::world::World;
+use mvs_core::{CameraId, CameraInfo, CameraMask, MvsProblem, ObjectId, ObjectInfo};
+use mvs_geometry::{BBox, SizeClass};
+use mvs_metrics::{LatencySeries, OverheadBreakdown, OverheadSample, RecallAccumulator};
+use mvs_vision::{
+    find_new_regions, slice_regions, Detection, DetectionModel, FlowField, FlowTracker,
+    GroundTruthObject, LatencyProfile, RegionTask, SimulatedDetector, SizeCounts, TrackId,
+    TrackerConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
+
+/// Which scheduling algorithm the pipeline runs (the paper's comparison
+/// set, Sec. IV-C/D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Full-frame detection on every frame of every camera.
+    Full,
+    /// Per-camera BALB machinery without cross-camera coordination.
+    BalbInd,
+    /// BALB central stage only (no distributed stage).
+    BalbCen,
+    /// The complete BALB system.
+    Balb,
+    /// Offline static spatial partitioning: the paper's SP baseline. Uses
+    /// the same (imperfect) cross-camera models as BALB to build cell
+    /// masks, but with a fixed processing-speed priority instead of the
+    /// load-aware latency order — the allocation never reacts to load.
+    StaticPartition,
+    /// Ablation-only SP variant granted oracle world geometry (true view
+    /// polygons and ground-truth object positions) instead of the learned
+    /// models; isolates how much of SP's deficit is model error vs.
+    /// load-obliviousness.
+    StaticPartitionOracle,
+}
+
+impl Algorithm {
+    /// All algorithms in presentation order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Full,
+        Algorithm::BalbInd,
+        Algorithm::BalbCen,
+        Algorithm::Balb,
+        Algorithm::StaticPartition,
+        Algorithm::StaticPartitionOracle,
+    ];
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Full => write!(f, "Full"),
+            Algorithm::BalbInd => write!(f, "BALB-Ind"),
+            Algorithm::BalbCen => write!(f, "BALB-Cen"),
+            Algorithm::Balb => write!(f, "BALB"),
+            Algorithm::StaticPartition => write!(f, "SP"),
+            Algorithm::StaticPartitionOracle => write!(f, "SP-Oracle"),
+        }
+    }
+}
+
+/// Modeled costs of pipeline components we simulate rather than run (the
+/// optical flow and GPU batch assembly of Table II). The scheduler itself
+/// (central + distributed stages) is *measured*, not modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Fixed per-frame cost of dense optical flow on reduced resolution.
+    pub flow_base_ms: f64,
+    /// Additional tracking cost per live track.
+    pub tracking_per_object_ms: f64,
+    /// Batch-assembly cost per crop (extract + resize + pack).
+    pub batch_per_crop_ms: f64,
+    /// Batch-assembly cost per launched batch.
+    pub batch_per_batch_ms: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            flow_base_ms: 9.0,
+            tracking_per_object_ms: 1.1,
+            batch_per_crop_ms: 0.9,
+            batch_per_batch_ms: 2.2,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Scheduling algorithm under test.
+    pub algorithm: Algorithm,
+    /// Scheduling-horizon length `T` in frames (key frame + `T-1` regular).
+    pub horizon: usize,
+    /// Detector quality model.
+    pub detection: DetectionModel,
+    /// Optical-flow estimation noise (σ, pixels).
+    pub flow_noise_px: f64,
+    /// Neighbours for the association KNN models.
+    pub assoc_k: usize,
+    /// IoU threshold for cross-camera match acceptance.
+    pub assoc_iou: f64,
+    /// Cell size of the distributed-stage masks, pixels.
+    pub grid_cell_px: u32,
+    /// Seconds of simulation used to train the association models (the
+    /// "first half" of the paper's protocol).
+    pub train_s: f64,
+    /// Seconds of simulation evaluated (the "second half").
+    pub eval_s: f64,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Force batch limits to one (ablation: batching contribution).
+    pub disable_batching: bool,
+    /// Number of cameras assigned per object (1 = the paper's BALB; ≥2 =
+    /// the Sec. V redundant-assignment extension for occlusion
+    /// robustness). Only affects [`Algorithm::Balb`] / [`Algorithm::BalbCen`].
+    pub redundancy: usize,
+    /// Per-camera processing lag in frames (Sec. V, "Imperfect
+    /// synchronization"): camera `i` processes the scene as it looked
+    /// `camera_lag_frames[i]` frames ago. Empty = perfectly synchronized.
+    /// Missing entries default to zero.
+    pub camera_lag_frames: Vec<usize>,
+    /// Per-camera tracker configuration.
+    pub tracker: TrackerConfig,
+    /// Camera↔scheduler link model.
+    pub network: NetworkModel,
+    /// Modeled component costs for Table II.
+    pub overhead: OverheadModel,
+}
+
+impl PipelineConfig {
+    /// The paper's operating point for a given algorithm: `T = 10` at
+    /// 10 FPS, KNN `k = 3`.
+    pub fn paper_default(algorithm: Algorithm) -> Self {
+        PipelineConfig {
+            algorithm,
+            horizon: 10,
+            detection: DetectionModel::default(),
+            flow_noise_px: 1.0,
+            assoc_k: 3,
+            assoc_iou: 0.15,
+            grid_cell_px: 64,
+            train_s: 90.0,
+            eval_s: 90.0,
+            seed: 17,
+            disable_batching: false,
+            redundancy: 1,
+            camera_lag_frames: Vec::new(),
+            tracker: TrackerConfig::default(),
+            network: NetworkModel::default(),
+            overhead: OverheadModel::default(),
+        }
+    }
+}
+
+/// Distributed-stage activity counters (diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Key frames executed.
+    pub key_frames: usize,
+    /// Takeovers performed by the distributed stage.
+    pub takeovers: usize,
+    /// New-region probes issued at regular frames.
+    pub probes: usize,
+}
+
+/// Results of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineResult {
+    /// The algorithm that produced these numbers.
+    pub algorithm: Algorithm,
+    /// Evaluated frames.
+    pub frames: usize,
+    /// Object recall over the evaluation (Fig. 12 metric).
+    pub recall: f64,
+    /// Mean per-frame DNN latency on the slowest camera (Fig. 13 metric).
+    pub mean_latency_ms: f64,
+    /// Full per-frame system-latency series.
+    pub latency: LatencySeries,
+    /// Mean per-frame DNN latency per camera.
+    pub per_camera_mean_ms: Vec<f64>,
+    /// Full per-frame DNN latency series per camera (one inner vector per
+    /// camera, one sample per evaluated frame) — input to the
+    /// response-delay replay of [`replay_response`](crate::replay_response).
+    pub per_camera_series_ms: Vec<Vec<f64>>,
+    /// Mean per-frame overheads (Table II).
+    pub overhead_mean: OverheadSample,
+    /// Distributed-stage activity counters.
+    pub stats: PipelineStats,
+}
+
+/// Runs the pipeline for `config` on `scenario`.
+///
+/// Deterministic for a fixed `(scenario, config)` pair.
+///
+/// # Panics
+///
+/// Panics on nonsensical configuration (zero horizon, empty scenario) and
+/// if association-model training fails (cannot happen for the built-in
+/// scenarios, whose cameras always see traffic during training).
+pub fn run_pipeline(scenario: &Scenario, config: &PipelineConfig) -> PipelineResult {
+    assert!(config.horizon > 0, "horizon must be positive");
+    Pipeline::new(scenario, config).run()
+}
+
+/// A shadow of an object assigned to another camera: this camera's own
+/// flow-updated estimate of where it is, plus how many consecutive frames
+/// the cross-camera models have said it is gone from its assigned camera.
+#[derive(Debug, Clone, Copy)]
+struct Shadow {
+    bbox: BBox,
+    gone_frames: u32,
+}
+
+/// Consecutive "gone from owner" frames required before a takeover; one
+/// noisy classifier answer must not steal a tracked object.
+const TAKEOVER_HYSTERESIS: u32 = 3;
+
+/// Per-horizon state for the coordinated algorithms.
+#[derive(Debug, Default)]
+struct HorizonState {
+    /// Owner cameras per global object of this horizon (one entry with
+    /// redundancy 1; more under the redundant-assignment extension).
+    assignment: Vec<Vec<usize>>,
+    /// Per camera: shadow boxes of objects visible here but assigned
+    /// elsewhere, keyed by global index (full BALB only).
+    shadows: Vec<HashMap<usize, Shadow>>,
+    /// Per camera: global index of each seeded track.
+    track_global: Vec<HashMap<TrackId, usize>>,
+    /// Per camera: distributed-stage mask (full BALB only).
+    masks: Vec<Option<CameraMask>>,
+    /// Amortized central-stage cost charged to every frame of the horizon.
+    central_per_frame_ms: f64,
+}
+
+struct Pipeline<'a> {
+    scenario: &'a Scenario,
+    config: &'a PipelineConfig,
+    profiles: Vec<LatencyProfile>,
+    detectors: Vec<SimulatedDetector>,
+    trained: Option<TrainedAssociation>,
+    precompute: Option<MaskPrecompute>,
+    partition: Option<StaticWorldPartition>,
+    /// SP's fixed speed-priority masks (static for the whole run).
+    static_masks: Vec<Option<CameraMask>>,
+    rng: ChaCha8Rng,
+    world: World,
+    trackers: Vec<FlowTracker>,
+    prev_views: Vec<Vec<GroundTruthObject>>,
+    horizon: HorizonState,
+    // Outputs.
+    recall: RecallAccumulator,
+    latency: LatencySeries,
+    per_camera: Vec<Vec<f64>>,
+    overhead: OverheadBreakdown,
+    stats: PipelineStats,
+}
+
+impl<'a> Pipeline<'a> {
+    fn new(scenario: &'a Scenario, config: &'a PipelineConfig) -> Self {
+        let m = scenario.num_cameras();
+        assert!(m > 0, "scenario has no cameras");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let profiles: Vec<LatencyProfile> = scenario
+            .devices
+            .iter()
+            .map(|&d| {
+                let p = LatencyProfile::for_device(d);
+                if config.disable_batching {
+                    p.without_batching()
+                } else {
+                    p
+                }
+            })
+            .collect();
+        let detectors: Vec<SimulatedDetector> = scenario
+            .cameras
+            .iter()
+            .map(|c| SimulatedDetector::new(config.detection, c.frame))
+            .collect();
+
+        // Train the association models on the "first half" (the training
+        // segment advances the shared RNG, exactly like a recorded prefix).
+        let needs_assoc = matches!(
+            config.algorithm,
+            Algorithm::BalbCen | Algorithm::Balb | Algorithm::StaticPartition
+        );
+        let (trained, precompute) = if needs_assoc {
+            let data = CorrespondenceData::collect(scenario, config.train_s, 2, &mut rng);
+            let trained = TrainedAssociation::train(m, &data, config.assoc_k, config.assoc_iou)
+                .expect("association models must train on scenario data");
+            let precompute = matches!(
+                config.algorithm,
+                Algorithm::Balb | Algorithm::StaticPartition
+            )
+            .then(|| {
+                let frames: Vec<_> = scenario.cameras.iter().map(|c| c.frame).collect();
+                MaskPrecompute::build(&frames, &data, config.grid_cell_px)
+            });
+            (Some(trained), precompute)
+        } else {
+            (None, None)
+        };
+        // SP's offline allocation: overlap cells divided among covering
+        // cameras in proportion to processing power, frozen for the run.
+        let static_masks = if config.algorithm == Algorithm::StaticPartition {
+            let weights: Vec<f64> = profiles.iter().map(|p| p.speed_score()).collect();
+            let pre = precompute.as_ref().expect("SP precomputes coverage");
+            pre.sp_masks(&weights).into_iter().map(Some).collect()
+        } else {
+            vec![None; m]
+        };
+        let partition = matches!(config.algorithm, Algorithm::StaticPartitionOracle).then(|| {
+            StaticWorldPartition::new(
+                scenario.cameras.iter().map(|c| c.view_polygon()).collect(),
+                profiles.iter().map(|p| p.speed_score()).collect(),
+            )
+        });
+
+        let world = scenario.warmed_world(30.0, &mut rng);
+        let prev_views = scenario
+            .cameras
+            .iter()
+            .map(|c| c.visible_objects(&world, scenario.occlusion_threshold))
+            .collect();
+        let trackers = scenario
+            .cameras
+            .iter()
+            .map(|c| FlowTracker::new(config.tracker, c.frame))
+            .collect();
+        Pipeline {
+            scenario,
+            config,
+            profiles,
+            detectors,
+            trained,
+            precompute,
+            partition,
+            static_masks,
+            rng,
+            world,
+            trackers,
+            prev_views,
+            horizon: HorizonState {
+                shadows: vec![HashMap::new(); m],
+                track_global: vec![HashMap::new(); m],
+                masks: vec![None; m],
+                ..Default::default()
+            },
+            recall: RecallAccumulator::new(),
+            latency: LatencySeries::new(),
+            per_camera: vec![Vec::new(); m],
+            overhead: OverheadBreakdown::new(),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    fn run(mut self) -> PipelineResult {
+        let dt = self.scenario.frame_dt_s();
+        let frames = (self.config.eval_s * self.scenario.fps).round() as usize;
+        let m = self.scenario.num_cameras();
+        let lags: Vec<usize> = (0..m)
+            .map(|i| self.config.camera_lag_frames.get(i).copied().unwrap_or(0))
+            .collect();
+        let max_lag = lags.iter().copied().max().unwrap_or(0);
+        // Ring buffers of recent true views, for lagged cameras.
+        let mut history: Vec<std::collections::VecDeque<Vec<GroundTruthObject>>> =
+            vec![std::collections::VecDeque::with_capacity(max_lag + 1); m];
+        for frame in 0..frames {
+            self.world.step(dt, &mut self.rng);
+            let true_views: Vec<Vec<GroundTruthObject>> = self
+                .scenario
+                .cameras
+                .iter()
+                .map(|c| c.visible_objects(&self.world, self.scenario.occlusion_threshold))
+                .collect();
+            // Each camera processes the scene from `lag` frames ago.
+            let views: Vec<Vec<GroundTruthObject>> = (0..m)
+                .map(|i| {
+                    let h = &mut history[i];
+                    h.push_back(true_views[i].clone());
+                    if h.len() > lags[i] + 1 {
+                        h.pop_front();
+                    }
+                    h.front().expect("just pushed").clone()
+                })
+                .collect();
+            let flows: Vec<FlowField> = (0..views.len())
+                .map(|i| {
+                    FlowField::estimate(
+                        &self.prev_views[i],
+                        &views[i],
+                        self.config.flow_noise_px,
+                        &mut self.rng,
+                    )
+                })
+                .collect();
+
+            let is_key = frame % self.config.horizon == 0;
+            let (frame_latency, detected, oh) = match self.config.algorithm {
+                Algorithm::Full => self.full_frame(&views),
+                _ if is_key => self.key_frame(&views),
+                _ => self.regular_frame(&views, &flows),
+            };
+
+            // Recall is judged against what is truly in front of the
+            // cameras *now*, which is what makes lag hurt.
+            let visible: HashSet<u64> = true_views.iter().flatten().map(|g| g.id).collect();
+            self.recall.record(visible, detected);
+            let system = frame_latency.iter().fold(0.0, |a: f64, &b| a.max(b));
+            self.latency.push(system);
+            for (series, &l) in self.per_camera.iter_mut().zip(&frame_latency) {
+                series.push(l);
+            }
+            self.overhead.record_frame(&oh);
+            self.prev_views = views;
+        }
+        let per_camera_mean_ms = self
+            .per_camera
+            .iter()
+            .map(|s| s.iter().sum::<f64>() / s.len().max(1) as f64)
+            .collect();
+        PipelineResult {
+            algorithm: self.config.algorithm,
+            frames,
+            recall: self.recall.recall(),
+            mean_latency_ms: self.latency.mean_ms(),
+            latency: self.latency,
+            per_camera_mean_ms,
+            per_camera_series_ms: self.per_camera,
+            overhead_mean: self.overhead.mean(),
+            stats: self.stats,
+        }
+    }
+
+    /// The Full baseline: full-frame inspection everywhere, every frame.
+    #[allow(clippy::needless_range_loop)] // `i` indexes parallel per-camera state
+    fn full_frame(
+        &mut self,
+        views: &[Vec<GroundTruthObject>],
+    ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
+        let m = views.len();
+        let mut latency = Vec::with_capacity(m);
+        let mut detected = HashSet::new();
+        for i in 0..m {
+            let dets = self.detectors[i].detect_full_frame(&views[i], &mut self.rng);
+            detected.extend(dets.iter().filter_map(|d| d.truth_id));
+            latency.push(self.profiles[i].full_frame_ms());
+        }
+        (latency, detected, vec![OverheadSample::default(); m])
+    }
+
+    /// A key frame for the tracking-based algorithms.
+    #[allow(clippy::needless_range_loop)] // `i` indexes parallel per-camera state
+    fn key_frame(
+        &mut self,
+        views: &[Vec<GroundTruthObject>],
+    ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
+        self.stats.key_frames += 1;
+        let m = views.len();
+        let mut detected = HashSet::new();
+        let mut latency = Vec::with_capacity(m);
+        let mut all_dets: Vec<Vec<Detection>> = Vec::with_capacity(m);
+        for i in 0..m {
+            let dets = self.detectors[i].detect_full_frame(&views[i], &mut self.rng);
+            detected.extend(dets.iter().filter_map(|d| d.truth_id));
+            latency.push(self.profiles[i].full_frame_ms());
+            all_dets.push(dets);
+        }
+        // Reset per-horizon state.
+        for t in &mut self.trackers {
+            t.clear();
+        }
+        self.horizon = HorizonState {
+            shadows: vec![HashMap::new(); m],
+            track_global: vec![HashMap::new(); m],
+            masks: vec![None; m],
+            ..Default::default()
+        };
+
+        match self.config.algorithm {
+            Algorithm::BalbInd => {
+                // Every camera keeps everything it saw.
+                for (i, dets) in all_dets.iter().enumerate() {
+                    for d in dets {
+                        self.trackers[i].seed(d.bbox, d.truth_id);
+                    }
+                }
+            }
+            Algorithm::StaticPartition => {
+                // Each camera keeps the detections falling in cells its
+                // static speed-priority mask owns (same imperfect models
+                // as BALB's masks, but load-oblivious).
+                for (i, dets) in all_dets.iter().enumerate() {
+                    let mask = self.static_masks[i].as_ref().expect("SP masks built");
+                    for d in dets {
+                        if mask.is_responsible_for(&d.bbox) {
+                            self.trackers[i].seed(d.bbox, d.truth_id);
+                        }
+                    }
+                }
+            }
+            Algorithm::StaticPartitionOracle => {
+                // Ablation: allocation by oracle world geometry.
+                let partition = self.partition.as_ref().expect("oracle SP has a partition");
+                let world_pos: HashMap<u64, mvs_geometry::Point2> = self
+                    .world
+                    .objects()
+                    .iter()
+                    .map(|o| (o.id, self.world.position_of(o)))
+                    .collect();
+                for (i, dets) in all_dets.iter().enumerate() {
+                    for d in dets {
+                        let mine = match d.truth_id.and_then(|id| world_pos.get(&id)) {
+                            Some(&pos) => partition.owner(pos) == Some(i),
+                            // False positives have no world anchor; the
+                            // observing camera keeps them.
+                            None => true,
+                        };
+                        if mine {
+                            self.trackers[i].seed(d.bbox, d.truth_id);
+                        }
+                    }
+                }
+            }
+            Algorithm::BalbCen | Algorithm::Balb => {
+                let started = Instant::now();
+                let trained = self.trained.as_ref().expect("association is trained");
+                let boxes: Vec<Vec<BBox>> = all_dets
+                    .iter()
+                    .map(|d| d.iter().map(|x| x.bbox).collect())
+                    .collect();
+                let globals = trained.engine.associate(&boxes);
+                // Build the MVS instance.
+                let cameras: Vec<CameraInfo> = (0..m)
+                    .map(|i| CameraInfo {
+                        id: CameraId(i),
+                        profile: self.profiles[i].clone(),
+                    })
+                    .collect();
+                let margin = 1.0 + self.config.tracker.margin_frac;
+                let objects: Vec<ObjectInfo> = globals
+                    .iter()
+                    .enumerate()
+                    .map(|(g, go)| {
+                        let sizes: BTreeMap<CameraId, SizeClass> = go
+                            .members
+                            .iter()
+                            .map(|&(cam, det)| {
+                                let b = boxes[cam][det];
+                                (
+                                    CameraId(cam),
+                                    SizeClass::quantize(b.width() * margin, b.height() * margin),
+                                )
+                            })
+                            .collect();
+                        ObjectInfo {
+                            id: ObjectId(g),
+                            sizes,
+                        }
+                    })
+                    .collect();
+                let problem =
+                    MvsProblem::new(cameras, objects).expect("pipeline builds valid instances");
+                let schedule =
+                    mvs_core::extensions::balb_redundant(&problem, self.config.redundancy.max(1));
+                let compute_ms = started.elapsed().as_secs_f64() * 1e3;
+
+                // Seed trackers per the assignment; record shadows.
+                self.horizon.assignment = (0..globals.len())
+                    .map(|g| {
+                        schedule
+                            .assignment
+                            .owners_of(ObjectId(g))
+                            .iter()
+                            .map(|c| c.0)
+                            .collect()
+                    })
+                    .collect();
+                for (g, go) in globals.iter().enumerate() {
+                    let owners = self.horizon.assignment[g].clone();
+                    for &(cam, det) in &go.members {
+                        let d = &all_dets[cam][det];
+                        if owners.contains(&cam) {
+                            let id = self.trackers[cam].seed(d.bbox, d.truth_id);
+                            self.horizon.track_global[cam].insert(id, g);
+                        } else if self.config.algorithm == Algorithm::Balb {
+                            self.horizon.shadows[cam].insert(
+                                g,
+                                Shadow {
+                                    bbox: d.bbox,
+                                    gone_frames: 0,
+                                },
+                            );
+                        }
+                    }
+                }
+                // Distributed-stage masks under the new priority order.
+                if self.config.algorithm == Algorithm::Balb {
+                    let pre = self.precompute.as_ref().expect("BALB precomputes masks");
+                    for i in 0..m {
+                        self.horizon.masks[i] = Some(pre.mask_for(i, &schedule.priority));
+                    }
+                }
+                // Central-stage cost: computation plus the slowest camera's
+                // key-frame round trip (typed wire messages), amortized
+                // over the horizon.
+                let uplink_ms = all_dets
+                    .iter()
+                    .enumerate()
+                    .map(|(cam, dets)| {
+                        let msg = UploadMessage {
+                            camera: cam as u32,
+                            frame: 0,
+                            objects: dets
+                                .iter()
+                                .enumerate()
+                                .map(|(d, det)| ObjectRecord {
+                                    detection: d as u32,
+                                    bbox: det.bbox,
+                                    confidence: det.confidence as f32,
+                                    size: SizeClass::quantize(det.bbox.width(), det.bbox.height()),
+                                })
+                                .collect(),
+                        };
+                        self.config.network.uplink_ms(msg.encoded_len())
+                    })
+                    .fold(0.0, f64::max);
+                let reply = AssignmentMessage {
+                    horizon: 0,
+                    assignments: (0..globals.len())
+                        .map(|g| {
+                            (
+                                g as u32,
+                                self.horizon.assignment[g]
+                                    .iter()
+                                    .map(|&c| c as u32)
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                    priority: schedule.priority.iter().map(|c| c.0 as u32).collect(),
+                };
+                let downlink_ms = self.config.network.downlink_ms(reply.encoded_len());
+                self.horizon.central_per_frame_ms =
+                    (compute_ms + uplink_ms + downlink_ms) / self.config.horizon as f64;
+            }
+            Algorithm::Full => unreachable!("handled by full_frame"),
+        }
+        let oh = vec![
+            OverheadSample {
+                central_ms: self.horizon.central_per_frame_ms,
+                ..Default::default()
+            };
+            m
+        ];
+        (latency, detected, oh)
+    }
+
+    /// A regular frame: flow prediction, slicing, batched partial
+    /// inspection, and the distributed stage.
+    fn regular_frame(
+        &mut self,
+        views: &[Vec<GroundTruthObject>],
+        flows: &[FlowField],
+    ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
+        let m = views.len();
+        let mut latency = Vec::with_capacity(m);
+        let mut detected = HashSet::new();
+        let mut oh = Vec::with_capacity(m);
+        for i in 0..m {
+            let frame_dims = self.scenario.cameras[i].frame;
+            // 1. Flow-predict tracks and shadows.
+            self.trackers[i].predict(&flows[i]);
+            if self.config.algorithm == Algorithm::Balb {
+                let shadows = &mut self.horizon.shadows[i];
+                let flow = &flows[i];
+                shadows.retain(|_, s| {
+                    let moved = s
+                        .bbox
+                        .translated(flow.displacement_at(s.bbox.center()).displacement);
+                    match moved.clamped_to(frame_dims) {
+                        Some(c) if c.area() > 0.25 * s.bbox.area() => {
+                            s.bbox = moved;
+                            true
+                        }
+                        _ => false,
+                    }
+                });
+            }
+
+            // 2. Distributed stage (measured).
+            let distributed_started = Instant::now();
+            let mut takeover_seeds: Vec<(usize, BBox)> = Vec::new();
+            if self.config.algorithm == Algorithm::Balb {
+                let trained = self.trained.as_ref().expect("trained");
+                let mask = self.horizon.masks[i].as_ref().expect("mask built");
+                let assignment = &self.horizon.assignment;
+                for (&g, shadow) in self.horizon.shadows[i].iter_mut() {
+                    let owners = &assignment[g];
+                    if owners.contains(&i) {
+                        continue;
+                    }
+                    // The object has left *every* assigned camera's view
+                    // (per the synchronized pair models); require the
+                    // verdict to persist so one noisy classifier answer
+                    // does not steal a still-tracked object. If this
+                    // camera owns the cell where the object now is, it
+                    // takes over.
+                    let gone_everywhere = owners
+                        .iter()
+                        .all(|&owner| trained.map_box(i, owner, &shadow.bbox).is_none());
+                    if gone_everywhere {
+                        shadow.gone_frames += 1;
+                    } else {
+                        shadow.gone_frames = 0;
+                    }
+                    if shadow.gone_frames >= TAKEOVER_HYSTERESIS
+                        && mask.is_responsible_for(&shadow.bbox)
+                    {
+                        takeover_seeds.push((g, shadow.bbox));
+                    }
+                }
+                self.stats.takeovers += takeover_seeds.len();
+                for (g, bbox) in &takeover_seeds {
+                    self.horizon.shadows[i].remove(g);
+                    self.horizon.assignment[*g].push(i);
+                    let id = self.trackers[i].seed(*bbox, None);
+                    self.horizon.track_global[i].insert(id, *g);
+                }
+            }
+            let distributed_ms = distributed_started.elapsed().as_secs_f64() * 1e3;
+
+            // 3. Slice regions for live tracks.
+            let mut tasks: Vec<RegionTask> = slice_regions(self.trackers[i].tracks(), frame_dims);
+
+            // 4. New-region probing.
+            let probe_allowed = matches!(
+                self.config.algorithm,
+                Algorithm::BalbInd
+                    | Algorithm::Balb
+                    | Algorithm::StaticPartition
+                    | Algorithm::StaticPartitionOracle
+            );
+            if probe_allowed {
+                let mut predicted: Vec<BBox> =
+                    self.trackers[i].tracks().iter().map(|t| t.bbox).collect();
+                if self.config.algorithm == Algorithm::Balb {
+                    predicted.extend(self.horizon.shadows[i].values().map(|s| s.bbox));
+                }
+                let fresh = find_new_regions(flows[i].moving_clusters(), &predicted, 0.5);
+                for region in fresh {
+                    let responsible = match self.config.algorithm {
+                        Algorithm::BalbInd => true,
+                        Algorithm::Balb => self.horizon.masks[i]
+                            .as_ref()
+                            .expect("mask built")
+                            .is_responsible_for(&region),
+                        Algorithm::StaticPartition => self.static_masks[i]
+                            .as_ref()
+                            .expect("SP masks built")
+                            .is_responsible_for(&region),
+                        Algorithm::StaticPartitionOracle => {
+                            // The oracle SP allocation is geometric; check
+                            // the world region behind the cluster.
+                            let partition = self.partition.as_ref().expect("SP partition");
+                            views[i].iter().any(|g| {
+                                g.bbox.coverage_by(&region) >= 0.35
+                                    && self
+                                        .world
+                                        .objects()
+                                        .iter()
+                                        .find(|o| o.id == g.id)
+                                        .map(|o| {
+                                            partition.owner(self.world.position_of(o)) == Some(i)
+                                        })
+                                        .unwrap_or(false)
+                            })
+                        }
+                        _ => false,
+                    };
+                    if responsible {
+                        if let Some(task) = RegionTask::for_region(region, frame_dims) {
+                            tasks.push(task);
+                            self.stats.probes += 1;
+                        }
+                    }
+                }
+            }
+
+            // 5. Run the (simulated) DNN on every crop; batching decides
+            // the latency.
+            let counts = SizeCounts::from_sizes(tasks.iter().map(|t| t.size));
+            latency.push(counts.latency_ms(&self.profiles[i]));
+            let mut detections: Vec<Detection> = Vec::new();
+            for task in &tasks {
+                detections.extend(self.detectors[i].detect_region(
+                    &task.region,
+                    task.size,
+                    &views[i],
+                    &mut self.rng,
+                ));
+            }
+            // Deduplicate: neighbouring crops can both cover one object.
+            detections.sort_by_key(|a| a.truth_id);
+            detections.dedup_by(|a, b| a.truth_id.is_some() && a.truth_id == b.truth_id);
+            detected.extend(detections.iter().filter_map(|d| d.truth_id));
+
+            // 6. Track association + lifecycle.
+            let outcome = self.trackers[i].associate(&detections);
+            if probe_allowed {
+                for &di in &outcome.unmatched_detections {
+                    let d = &detections[di];
+                    self.trackers[i].seed(d.bbox, d.truth_id);
+                }
+            }
+            let dropped = self.trackers[i].prune();
+            for id in dropped {
+                self.horizon.track_global[i].remove(&id);
+            }
+
+            // 7. Overheads.
+            let tracked = self.trackers[i].tracks().len()
+                + if self.config.algorithm == Algorithm::Balb {
+                    self.horizon.shadows[i].len()
+                } else {
+                    0
+                };
+            let batches: usize = counts.batches(&self.profiles[i]).iter().sum();
+            oh.push(OverheadSample {
+                central_ms: self.horizon.central_per_frame_ms,
+                tracking_ms: self.config.overhead.flow_base_ms
+                    + self.config.overhead.tracking_per_object_ms * tracked as f64,
+                distributed_ms,
+                batching_ms: self.config.overhead.batch_per_crop_ms * tasks.len() as f64
+                    + self.config.overhead.batch_per_batch_ms * batches as f64,
+            });
+        }
+        (latency, detected, oh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioKind};
+
+    fn quick_config(algorithm: Algorithm) -> PipelineConfig {
+        PipelineConfig {
+            train_s: 40.0,
+            eval_s: 30.0,
+            ..PipelineConfig::paper_default(algorithm)
+        }
+    }
+
+    #[test]
+    fn full_baseline_latency_is_constant_slowest_camera() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let r = run_pipeline(&sc, &quick_config(Algorithm::Full));
+        // S2 = Xavier + Nano → every frame costs the Nano's 650 ms.
+        assert!((r.mean_latency_ms - 650.0).abs() < 1e-9);
+        assert!(r.recall > 0.9, "full recall {}", r.recall);
+    }
+
+    #[test]
+    fn balb_is_much_faster_than_full_on_s2() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let full = run_pipeline(&sc, &quick_config(Algorithm::Full));
+        let balb = run_pipeline(&sc, &quick_config(Algorithm::Balb));
+        let speedup = full.mean_latency_ms / balb.mean_latency_ms;
+        assert!(speedup > 3.0, "speedup only {speedup:.2}x");
+        // And detection quality stays close.
+        assert!(
+            balb.recall > full.recall - 0.25,
+            "balb recall {} vs full {}",
+            balb.recall,
+            full.recall
+        );
+    }
+
+    #[test]
+    fn balb_ind_sits_between_full_and_balb() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let full = run_pipeline(&sc, &quick_config(Algorithm::Full));
+        let ind = run_pipeline(&sc, &quick_config(Algorithm::BalbInd));
+        let balb = run_pipeline(&sc, &quick_config(Algorithm::Balb));
+        assert!(ind.mean_latency_ms < full.mean_latency_ms);
+        assert!(balb.mean_latency_ms < ind.mean_latency_ms);
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let a = run_pipeline(&sc, &quick_config(Algorithm::Balb));
+        let b = run_pipeline(&sc, &quick_config(Algorithm::Balb));
+        assert_eq!(a.recall, b.recall);
+        assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
+    }
+
+    #[test]
+    fn overheads_are_populated_for_balb() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let r = run_pipeline(&sc, &quick_config(Algorithm::Balb));
+        let oh = r.overhead_mean;
+        assert!(oh.central_ms > 0.0);
+        assert!(oh.tracking_ms > 0.0);
+        assert!(oh.batching_ms > 0.0);
+        // Distributed stage is measured wall-clock; generous bound so
+        // debug builds pass too.
+        assert!(
+            oh.distributed_ms < 10.0,
+            "distributed {}",
+            oh.distributed_ms
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_panics() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let mut cfg = quick_config(Algorithm::Balb);
+        cfg.horizon = 0;
+        run_pipeline(&sc, &cfg);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioKind};
+
+    fn quick(algorithm: Algorithm) -> PipelineConfig {
+        PipelineConfig {
+            train_s: 30.0,
+            eval_s: 20.0,
+            ..PipelineConfig::paper_default(algorithm)
+        }
+    }
+
+    #[test]
+    fn sp_oracle_runs_and_tracks() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let r = run_pipeline(&sc, &quick(Algorithm::StaticPartitionOracle));
+        assert!(r.recall > 0.8, "oracle SP recall {}", r.recall);
+        assert!(r.mean_latency_ms < 650.0);
+    }
+
+    #[test]
+    fn balb_cen_never_probes_new_regions() {
+        // With the distributed stage off, regular-frame workload can only
+        // shrink as tracks are lost; the latency series between key frames
+        // must be non-increasing within every horizon.
+        let sc = Scenario::new(ScenarioKind::S2);
+        let r = run_pipeline(&sc, &quick(Algorithm::BalbCen));
+        for horizon in r.latency.samples_ms().chunks(10) {
+            // Skip the key frame (index 0); compare per-camera *counts*
+            // indirectly: regular-frame system latency never exceeds the
+            // first regular frame's by more than one batch step.
+            let first_regular = horizon.get(1).copied().unwrap_or(0.0);
+            for &v in &horizon[1..] {
+                assert!(
+                    v <= first_regular + 1e-9,
+                    "workload grew mid-horizon without a distributed stage: {v} > {first_regular}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_two_tracks_objects_on_multiple_cameras() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let single = run_pipeline(&sc, &quick(Algorithm::Balb));
+        let mut cfg = quick(Algorithm::Balb);
+        cfg.redundancy = 2;
+        let double = run_pipeline(&sc, &cfg);
+        // More owners ⇒ more crops ⇒ more latency on at least one camera.
+        let sum_single: f64 = single.per_camera_mean_ms.iter().sum();
+        let sum_double: f64 = double.per_camera_mean_ms.iter().sum();
+        assert!(
+            sum_double > sum_single,
+            "redundancy should add work: {sum_double} vs {sum_single}"
+        );
+    }
+
+    #[test]
+    fn overhead_model_scales_tracking_with_objects() {
+        // S3 (busy) must spend more modeled tracking time than S2 (sparse).
+        let busy = run_pipeline(&Scenario::new(ScenarioKind::S3), &quick(Algorithm::Balb));
+        let sparse = run_pipeline(&Scenario::new(ScenarioKind::S2), &quick(Algorithm::Balb));
+        assert!(busy.overhead_mean.tracking_ms > sparse.overhead_mean.tracking_ms);
+        assert!(busy.overhead_mean.batching_ms > sparse.overhead_mean.batching_ms);
+    }
+
+    #[test]
+    fn algorithm_display_names_are_stable() {
+        let names: Vec<String> = Algorithm::ALL.iter().map(|a| a.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["Full", "BALB-Ind", "BALB-Cen", "BALB", "SP", "SP-Oracle"]
+        );
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioKind};
+
+    #[test]
+    fn stats_reflect_distributed_activity() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let cfg = PipelineConfig {
+            train_s: 30.0,
+            eval_s: 30.0,
+            ..PipelineConfig::paper_default(Algorithm::Balb)
+        };
+        let r = run_pipeline(&sc, &cfg);
+        assert_eq!(r.stats.key_frames, 30); // 300 frames / horizon 10
+        assert!(r.stats.probes > 0, "sparse traffic still has arrivals");
+        // BALB-Cen never probes or takes over.
+        let cen = run_pipeline(
+            &sc,
+            &PipelineConfig {
+                train_s: 30.0,
+                eval_s: 30.0,
+                ..PipelineConfig::paper_default(Algorithm::BalbCen)
+            },
+        );
+        assert_eq!(cen.stats.probes, 0);
+        assert_eq!(cen.stats.takeovers, 0);
+        assert_eq!(cen.stats.key_frames, 30);
+    }
+}

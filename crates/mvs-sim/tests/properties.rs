@@ -1,0 +1,117 @@
+//! Property-based tests for the simulator: world dynamics, route
+//! parameterization, and the response-delay replay.
+
+use mvs_geometry::Point2;
+use mvs_sim::{
+    replay_response, FollowingModel, Lane, QueuePolicy, Route, SpawnConfig, World,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn straight_lane(rate: f64) -> Lane {
+    Lane {
+        route: Route::new(vec![Point2::new(0.0, 0.0), Point2::new(300.0, 0.0)], 10.0),
+        light: None,
+        spawn: SpawnConfig {
+            rate_per_s: rate,
+            min_gap_m: 8.0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vehicles_never_overtake_within_a_lane(seed in any::<u64>(), steps in 10usize..300) {
+        let mut world = World::new(vec![straight_lane(0.5)], FollowingModel::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..steps {
+            world.step(0.1, &mut rng);
+            // Order by id (spawn order) must match order by progress:
+            // later arrivals are always behind earlier ones.
+            let mut objs: Vec<_> = world.objects().to_vec();
+            objs.sort_by_key(|o| o.id);
+            for pair in objs.windows(2) {
+                prop_assert!(
+                    pair[0].progress_m >= pair[1].progress_m - 1e-9,
+                    "vehicle {} overtook {}",
+                    pair[1].id,
+                    pair[0].id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn progress_is_monotone_and_bounded(seed in any::<u64>()) {
+        let mut world = World::new(vec![straight_lane(0.3)], FollowingModel::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut last: std::collections::HashMap<u64, f64> = Default::default();
+        for _ in 0..200 {
+            world.step(0.1, &mut rng);
+            for o in world.objects() {
+                prop_assert!(o.progress_m >= 0.0);
+                prop_assert!(o.progress_m < 300.0, "past the route end");
+                if let Some(&prev) = last.get(&o.id) {
+                    prop_assert!(o.progress_m + 1e-9 >= prev, "vehicle moved backwards");
+                }
+                last.insert(o.id, o.progress_m);
+            }
+        }
+    }
+
+    #[test]
+    fn route_positions_lie_on_the_polyline_hull(
+        s in 0.0f64..400.0,
+        x1 in -100.0f64..100.0,
+        y2 in -100.0f64..100.0,
+    ) {
+        prop_assume!(x1.abs() > 1.0 && y2.abs() > 1.0);
+        let route = Route::new(
+            vec![Point2::new(x1, 0.0), Point2::new(0.0, 0.0), Point2::new(0.0, y2)],
+            5.0,
+        );
+        let p = route.position_at(s);
+        // Every point of an axis-aligned L route has x between the
+        // endpoints' x and y between the endpoints' y.
+        prop_assert!(p.x >= x1.min(0.0) - 1e-9 && p.x <= x1.max(0.0) + 1e-9);
+        prop_assert!(p.y >= y2.min(0.0) - 1e-9 && p.y <= y2.max(0.0) + 1e-9);
+    }
+
+    #[test]
+    fn replay_conserves_frames(
+        latencies in prop::collection::vec(0.0f64..900.0, 0..120),
+        policy in prop::sample::select(vec![QueuePolicy::Queue, QueuePolicy::DropToLatest]),
+    ) {
+        let stats = replay_response(&latencies, 100.0, policy);
+        prop_assert_eq!(stats.processed + stats.dropped, latencies.len());
+        if policy == QueuePolicy::Queue {
+            prop_assert_eq!(stats.dropped, 0);
+        }
+    }
+
+    #[test]
+    fn replay_never_exceeds_the_capture_rate(
+        latencies in prop::collection::vec(0.0f64..900.0, 1..120),
+    ) {
+        let stats = replay_response(&latencies, 100.0, QueuePolicy::DropToLatest);
+        prop_assert!(stats.effective_fps <= 10.0 + 1e-9);
+        // Delay is at least the per-frame latency of some processed frame.
+        let min_latency = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+        if stats.processed > 0 {
+            prop_assert!(stats.mean_delay_ms + 1e-9 >= min_latency);
+        }
+    }
+
+    #[test]
+    fn drop_policy_delay_never_exceeds_queue_policy(
+        latencies in prop::collection::vec(0.0f64..900.0, 1..100),
+    ) {
+        let dropped = replay_response(&latencies, 100.0, QueuePolicy::DropToLatest);
+        let queued = replay_response(&latencies, 100.0, QueuePolicy::Queue);
+        // Keeping only the latest frame can only shorten the worst wait.
+        prop_assert!(dropped.max_delay_ms <= queued.max_delay_ms + 1e-9);
+    }
+}

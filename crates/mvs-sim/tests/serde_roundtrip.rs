@@ -1,0 +1,31 @@
+//! Serde round-trips for the simulator's persisted configuration types.
+
+use mvs_sim::{Algorithm, PipelineConfig, Scenario, ScenarioKind};
+
+#[test]
+fn scenario_round_trips() {
+    for kind in ScenarioKind::ALL {
+        let sc = Scenario::new(kind);
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(sc, back, "{kind}");
+    }
+}
+
+#[test]
+fn pipeline_config_round_trips() {
+    let mut cfg = PipelineConfig::paper_default(Algorithm::Balb);
+    cfg.redundancy = 2;
+    cfg.camera_lag_frames = vec![0, 3];
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: PipelineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn algorithm_names_are_stable_in_json() {
+    let json = serde_json::to_string(&Algorithm::StaticPartition).unwrap();
+    assert_eq!(json, "\"StaticPartition\"");
+    let back: Algorithm = serde_json::from_str("\"Balb\"").unwrap();
+    assert_eq!(back, Algorithm::Balb);
+}

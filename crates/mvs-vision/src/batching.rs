@@ -1,0 +1,311 @@
+//! GPU task-batching arithmetic.
+//!
+//! Only crops with the same spatial size can share a GPU batch. Given a
+//! multiset of size classes, the optimal batch sequence is obtained by
+//! greedily filling batches per size class (the paper notes this conversion
+//! from an assignment to batch sequences is trivial and uniquely determines
+//! the camera latency of Definition 1).
+
+use crate::LatencyProfile;
+use mvs_geometry::SizeClass;
+use serde::{Deserialize, Serialize};
+
+/// Per-size-class crop counts for one camera and frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeCounts {
+    counts: [usize; SizeClass::COUNT],
+}
+
+impl SizeCounts {
+    /// No crops.
+    pub fn new() -> Self {
+        SizeCounts::default()
+    }
+
+    /// Builds counts from an iterator of size classes.
+    pub fn from_sizes<I: IntoIterator<Item = SizeClass>>(sizes: I) -> Self {
+        let mut c = SizeCounts::default();
+        for s in sizes {
+            c.add(s);
+        }
+        c
+    }
+
+    /// Adds one crop of the given size.
+    pub fn add(&mut self, size: SizeClass) {
+        self.counts[size.index()] += 1;
+    }
+
+    /// Removes one crop of the given size; returns `false` when none left.
+    pub fn remove(&mut self, size: SizeClass) -> bool {
+        let c = &mut self.counts[size.index()];
+        if *c == 0 {
+            false
+        } else {
+            *c -= 1;
+            true
+        }
+    }
+
+    /// Number of crops of `size`.
+    pub fn count(&self, size: SizeClass) -> usize {
+        self.counts[size.index()]
+    }
+
+    /// Total crops across all sizes.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// True when no crops are present.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Per-frame DNN latency (ms) under greedy same-size batching on the
+    /// given device profile — the camera latency of Definition 1 minus any
+    /// full-frame term.
+    pub fn latency_ms(&self, profile: &LatencyProfile) -> f64 {
+        SizeClass::ALL
+            .iter()
+            .map(|&s| {
+                batches_needed(self.count(s), profile.batch_limit(s)) as f64
+                    * profile.batch_latency_ms(s)
+            })
+            .sum()
+    }
+
+    /// Number of batches per size class on the given profile.
+    pub fn batches(&self, profile: &LatencyProfile) -> [usize; SizeClass::COUNT] {
+        let mut out = [0; SizeClass::COUNT];
+        for (i, &s) in SizeClass::ALL.iter().enumerate() {
+            out[i] = batches_needed(self.count(s), profile.batch_limit(s));
+        }
+        out
+    }
+
+    /// Remaining capacity in the last (incomplete) batch of `size`, or zero
+    /// when all batches are exactly full (or there are none).
+    ///
+    /// This is the paper's *batch capacity* `BC = B − b` of Definition 4,
+    /// evaluated for the camera's current open batch.
+    pub fn open_batch_capacity(&self, size: SizeClass, profile: &LatencyProfile) -> usize {
+        let limit = profile.batch_limit(size);
+        let rem = self.count(size) % limit;
+        if self.count(size) == 0 || rem == 0 {
+            0
+        } else {
+            limit - rem
+        }
+    }
+}
+
+/// Number of batches needed for `count` crops with the given per-batch
+/// limit: `ceil(count / limit)`.
+///
+/// # Panics
+///
+/// Panics if `limit` is zero.
+pub fn batches_needed(count: usize, limit: usize) -> usize {
+    assert!(limit > 0, "batch limit must be positive");
+    count.div_ceil(limit)
+}
+
+/// Greedy batch-sequence builder: collects size classes and emits concrete
+/// batches (lists of task indices) per size.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::SizeClass;
+/// use mvs_vision::BatchBuilder;
+///
+/// let mut b = BatchBuilder::new();
+/// b.push(SizeClass::S64);
+/// b.push(SizeClass::S128);
+/// b.push(SizeClass::S64);
+/// let batches = b.build(3); // batch limit 3 for every size
+/// assert_eq!(batches.len(), 2); // one S64 batch (2 crops), one S128 batch
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchBuilder {
+    tasks: Vec<SizeClass>,
+}
+
+/// A concrete batch: one size class and the indices (into the push order)
+/// of the tasks it contains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The shared spatial size of every crop in this batch.
+    pub size: SizeClass,
+    /// Indices of the batched tasks in push order.
+    pub task_indices: Vec<usize>,
+}
+
+impl BatchBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BatchBuilder::default()
+    }
+
+    /// Adds a task and returns its index.
+    pub fn push(&mut self, size: SizeClass) -> usize {
+        self.tasks.push(size);
+        self.tasks.len() - 1
+    }
+
+    /// Number of pushed tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Builds batches with a uniform `limit` for every size class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn build(&self, limit: usize) -> Vec<Batch> {
+        self.build_with(|_| limit)
+    }
+
+    /// Builds batches using the device profile's per-size batch limits.
+    pub fn build_for(&self, profile: &LatencyProfile) -> Vec<Batch> {
+        self.build_with(|s| profile.batch_limit(s))
+    }
+
+    fn build_with<F: Fn(SizeClass) -> usize>(&self, limit_of: F) -> Vec<Batch> {
+        let mut out = Vec::new();
+        for &size in &SizeClass::ALL {
+            let limit = limit_of(size);
+            assert!(limit > 0, "batch limit must be positive");
+            let idx: Vec<usize> = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s == size)
+                .map(|(i, _)| i)
+                .collect();
+            for chunk in idx.chunks(limit) {
+                out.push(Batch {
+                    size,
+                    task_indices: chunk.to_vec(),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceKind;
+
+    #[test]
+    fn batches_needed_arithmetic() {
+        assert_eq!(batches_needed(0, 4), 0);
+        assert_eq!(batches_needed(1, 4), 1);
+        assert_eq!(batches_needed(4, 4), 1);
+        assert_eq!(batches_needed(5, 4), 2);
+        assert_eq!(batches_needed(8, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch limit must be positive")]
+    fn batches_needed_rejects_zero_limit() {
+        batches_needed(3, 0);
+    }
+
+    #[test]
+    fn size_counts_latency_matches_manual_math() {
+        let p = LatencyProfile::for_device(DeviceKind::Xavier);
+        let mut c = SizeCounts::new();
+        for _ in 0..13 {
+            c.add(SizeClass::S128); // limit 12 → 2 batches × 30 ms
+        }
+        c.add(SizeClass::S512); // limit 2 → 1 batch × 67 ms
+        assert!((c.latency_ms(&p) - (2.0 * 30.0 + 67.0)).abs() < 1e-9);
+        assert_eq!(c.batches(&p), [0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn open_batch_capacity_tracks_occupancy() {
+        let p = LatencyProfile::for_device(DeviceKind::Xavier); // S64 limit 16
+        let mut c = SizeCounts::new();
+        assert_eq!(c.open_batch_capacity(SizeClass::S64, &p), 0);
+        c.add(SizeClass::S64);
+        assert_eq!(c.open_batch_capacity(SizeClass::S64, &p), 15);
+        for _ in 0..15 {
+            c.add(SizeClass::S64);
+        }
+        // Exactly full: no open batch.
+        assert_eq!(c.open_batch_capacity(SizeClass::S64, &p), 0);
+        c.add(SizeClass::S64);
+        assert_eq!(c.open_batch_capacity(SizeClass::S64, &p), 15);
+    }
+
+    #[test]
+    fn filling_open_batch_does_not_change_latency() {
+        let p = LatencyProfile::for_device(DeviceKind::Tx2); // S256 limit 4
+        let mut c = SizeCounts::from_sizes([SizeClass::S256]);
+        let one = c.latency_ms(&p);
+        c.add(SizeClass::S256);
+        assert_eq!(c.latency_ms(&p), one);
+        c.add(SizeClass::S256);
+        c.add(SizeClass::S256);
+        assert_eq!(c.latency_ms(&p), one);
+        c.add(SizeClass::S256); // fifth crop opens a second batch
+        assert!(c.latency_ms(&p) > one);
+    }
+
+    #[test]
+    fn remove_round_trip() {
+        let mut c = SizeCounts::from_sizes([SizeClass::S64, SizeClass::S64]);
+        assert!(c.remove(SizeClass::S64));
+        assert_eq!(c.count(SizeClass::S64), 1);
+        assert!(!c.remove(SizeClass::S512));
+    }
+
+    #[test]
+    fn builder_groups_by_size_and_respects_limit() {
+        let mut b = BatchBuilder::new();
+        let i0 = b.push(SizeClass::S64);
+        let i1 = b.push(SizeClass::S128);
+        let i2 = b.push(SizeClass::S64);
+        let i3 = b.push(SizeClass::S64);
+        let batches = b.build(2);
+        // S64: {i0,i2} then {i3}; S128: {i1}.
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].task_indices, vec![i0, i2]);
+        assert_eq!(batches[1].task_indices, vec![i3]);
+        assert_eq!(batches[2].task_indices, vec![i1]);
+        assert_eq!(batches[2].size, SizeClass::S128);
+    }
+
+    #[test]
+    fn builder_batch_count_matches_size_counts() {
+        let p = LatencyProfile::for_device(DeviceKind::Nano);
+        let sizes = [
+            SizeClass::S64,
+            SizeClass::S64,
+            SizeClass::S64,
+            SizeClass::S64,
+            SizeClass::S64, // limit 4 → 2 batches
+            SizeClass::S512,
+            SizeClass::S512, // limit 1 → 2 batches
+        ];
+        let mut b = BatchBuilder::new();
+        for s in sizes {
+            b.push(s);
+        }
+        let concrete = b.build_for(&p);
+        let counts = SizeCounts::from_sizes(sizes);
+        let expected: usize = counts.batches(&p).iter().sum();
+        assert_eq!(concrete.len(), expected);
+    }
+}

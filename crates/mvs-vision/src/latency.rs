@@ -1,0 +1,233 @@
+//! Offline-profiled DNN execution-latency tables.
+//!
+//! The paper profiles YOLOv5 with 200 runs per (device, input size, batch
+//! size) combination and feeds the resulting tables — full-frame latency
+//! `t_i^full`, per-size batch latency `t_i^s`, and batch limit `B_i^s` —
+//! into the BALB scheduler. The scheduler never touches the DNN itself, so
+//! these tables are the entire hardware interface. The magnitudes below
+//! follow published YOLOv5s benchmarks on the three Jetson generations.
+
+use mvs_geometry::SizeClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The Jetson device generations used in the paper's testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// NVIDIA Jetson Nano (slowest; 128-core Maxwell).
+    Nano,
+    /// NVIDIA Jetson TX2 (256-core Pascal).
+    Tx2,
+    /// NVIDIA Jetson Xavier (fastest; 512-core Volta).
+    Xavier,
+}
+
+impl DeviceKind {
+    /// All device kinds, slowest first.
+    pub const ALL: [DeviceKind; 3] = [DeviceKind::Nano, DeviceKind::Tx2, DeviceKind::Xavier];
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Nano => write!(f, "Jetson Nano"),
+            DeviceKind::Tx2 => write!(f, "Jetson TX2"),
+            DeviceKind::Xavier => write!(f, "Jetson Xavier"),
+        }
+    }
+}
+
+/// Profiled batch limit and latency for one input [`SizeClass`] on one
+/// device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeProfile {
+    /// Maximum number of same-size crops per GPU batch (`B_i^s`).
+    pub batch_limit: usize,
+    /// Execution latency of one batch at the batch limit, in ms (`t_i^s`).
+    ///
+    /// Per the paper's footnote 2, execution time changes only slightly with
+    /// batch occupancy below the limit, so the at-limit time is charged for
+    /// any batch.
+    pub batch_latency_ms: f64,
+}
+
+/// The complete profiled latency table for one device.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::SizeClass;
+/// use mvs_vision::{DeviceKind, LatencyProfile};
+///
+/// let xavier = LatencyProfile::for_device(DeviceKind::Xavier);
+/// let nano = LatencyProfile::for_device(DeviceKind::Nano);
+/// // The Nano is slower at everything.
+/// assert!(nano.full_frame_ms() > xavier.full_frame_ms());
+/// assert!(nano.batch_latency_ms(SizeClass::S128) > xavier.batch_latency_ms(SizeClass::S128));
+/// // And batches fewer crops at once.
+/// assert!(nano.batch_limit(SizeClass::S128) < xavier.batch_limit(SizeClass::S128));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    device: DeviceKind,
+    full_frame_ms: f64,
+    sizes: [SizeProfile; SizeClass::COUNT],
+}
+
+impl LatencyProfile {
+    /// The built-in profile for a Jetson generation.
+    pub fn for_device(device: DeviceKind) -> Self {
+        // Batch latencies follow a pixel-proportional model anchored at the
+        // device's full-frame time: t(batch) ≈ base + B·side²·rate with
+        // rate = (t_full − base) / (1280·704). This keeps the tables
+        // consistent with how DNN inference actually scales — a batch at
+        // the limit costs roughly what its total pixel count implies — so
+        // no camera can absorb unbounded work for free.
+        let (full, sizes) = match device {
+            // (batch_limit, batch_latency_ms) per size class 64/128/256/512.
+            DeviceKind::Xavier => (110.0, [(16, 15.0), (12, 30.0), (8, 65.0), (2, 67.0)]),
+            DeviceKind::Tx2 => (280.0, [(8, 22.0), (6, 41.0), (4, 90.0), (1, 92.0)]),
+            DeviceKind::Nano => (650.0, [(4, 31.0), (3, 54.0), (2, 112.0), (1, 203.0)]),
+        };
+        LatencyProfile {
+            device,
+            full_frame_ms: full,
+            sizes: sizes.map(|(batch_limit, batch_latency_ms)| SizeProfile {
+                batch_limit,
+                batch_latency_ms,
+            }),
+        }
+    }
+
+    /// Builds a custom profile (e.g. for sensitivity studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is non-positive or any batch limit is zero.
+    pub fn custom(
+        device: DeviceKind,
+        full_frame_ms: f64,
+        sizes: [SizeProfile; SizeClass::COUNT],
+    ) -> Self {
+        assert!(full_frame_ms > 0.0, "full-frame latency must be positive");
+        for s in &sizes {
+            assert!(s.batch_limit > 0, "batch limit must be positive");
+            assert!(s.batch_latency_ms > 0.0, "batch latency must be positive");
+        }
+        LatencyProfile {
+            device,
+            full_frame_ms,
+            sizes,
+        }
+    }
+
+    /// A copy of this profile with every batch limit forced to one.
+    ///
+    /// Used by the batching ablation: BALB with `B ≡ 1` measures how much of
+    /// the speedup comes from batch-awareness as opposed to latency
+    /// balancing.
+    pub fn without_batching(&self) -> Self {
+        let mut p = self.clone();
+        for s in &mut p.sizes {
+            s.batch_limit = 1;
+        }
+        p
+    }
+
+    /// The device this profile describes.
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// Full-frame inspection latency `t_i^full`, in ms.
+    pub fn full_frame_ms(&self) -> f64 {
+        self.full_frame_ms
+    }
+
+    /// Batch limit `B_i^s` for a size class.
+    pub fn batch_limit(&self, size: SizeClass) -> usize {
+        self.sizes[size.index()].batch_limit
+    }
+
+    /// Batch execution latency `t_i^s` for a size class, in ms.
+    pub fn batch_latency_ms(&self, size: SizeClass) -> f64 {
+        self.sizes[size.index()].batch_latency_ms
+    }
+
+    /// A relative speed score (inverse full-frame latency); used by the
+    /// static-partitioning baseline to size regions proportionally to
+    /// processing power.
+    pub fn speed_score(&self) -> f64 {
+        1.0 / self.full_frame_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ordering_is_monotone() {
+        let nano = LatencyProfile::for_device(DeviceKind::Nano);
+        let tx2 = LatencyProfile::for_device(DeviceKind::Tx2);
+        let xavier = LatencyProfile::for_device(DeviceKind::Xavier);
+        assert!(nano.full_frame_ms() > tx2.full_frame_ms());
+        assert!(tx2.full_frame_ms() > xavier.full_frame_ms());
+        for s in SizeClass::ALL {
+            assert!(nano.batch_latency_ms(s) > tx2.batch_latency_ms(s));
+            assert!(tx2.batch_latency_ms(s) > xavier.batch_latency_ms(s));
+            assert!(nano.batch_limit(s) <= tx2.batch_limit(s));
+            assert!(tx2.batch_limit(s) <= xavier.batch_limit(s));
+        }
+    }
+
+    #[test]
+    fn larger_sizes_cost_more() {
+        for d in DeviceKind::ALL {
+            let p = LatencyProfile::for_device(d);
+            for w in SizeClass::ALL.windows(2) {
+                assert!(p.batch_latency_ms(w[0]) < p.batch_latency_ms(w[1]));
+                assert!(p.batch_limit(w[0]) >= p.batch_limit(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn full_frame_exceeds_camera_period() {
+        // The paper's premise: no device can run full-frame inspection at
+        // 10 FPS (100 ms period).
+        for d in DeviceKind::ALL {
+            assert!(LatencyProfile::for_device(d).full_frame_ms() > 100.0);
+        }
+    }
+
+    #[test]
+    fn without_batching_clamps_limits() {
+        let p = LatencyProfile::for_device(DeviceKind::Xavier).without_batching();
+        for s in SizeClass::ALL {
+            assert_eq!(p.batch_limit(s), 1);
+        }
+        // Latencies unchanged.
+        assert_eq!(
+            p.batch_latency_ms(SizeClass::S64),
+            LatencyProfile::for_device(DeviceKind::Xavier).batch_latency_ms(SizeClass::S64)
+        );
+    }
+
+    #[test]
+    fn speed_score_ranks_devices() {
+        let nano = LatencyProfile::for_device(DeviceKind::Nano);
+        let xavier = LatencyProfile::for_device(DeviceKind::Xavier);
+        assert!(xavier.speed_score() > nano.speed_score());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch limit must be positive")]
+    fn custom_validates_limits() {
+        let s = SizeProfile {
+            batch_limit: 0,
+            batch_latency_ms: 1.0,
+        };
+        LatencyProfile::custom(DeviceKind::Nano, 100.0, [s; 4]);
+    }
+}

@@ -1,0 +1,128 @@
+//! New-region detection.
+//!
+//! Clusters of moving pixels that belong to no predicted track box indicate
+//! newly appeared objects (Sec. II-B). Feeding these regions to the
+//! detector catches new objects at first appearance instead of waiting for
+//! the next key frame.
+
+use mvs_geometry::BBox;
+
+/// Finds moving clusters that are not explained by any predicted track box.
+///
+/// A cluster is *explained* when at least `coverage_threshold` of its area
+/// is covered by some single predicted box. Unexplained clusters that
+/// overlap each other are merged (hull) so one new object produces one
+/// probe region.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::BBox;
+/// use mvs_vision::find_new_regions;
+///
+/// let clusters = [
+///     BBox::new(100.0, 100.0, 150.0, 150.0)?, // tracked object
+///     BBox::new(600.0, 300.0, 660.0, 360.0)?, // brand new object
+/// ];
+/// let predicted = [BBox::new(95.0, 95.0, 155.0, 155.0)?];
+/// let fresh = find_new_regions(&clusters, &predicted, 0.5);
+/// assert_eq!(fresh.len(), 1);
+/// assert_eq!(fresh[0], clusters[1]);
+/// # Ok::<(), mvs_geometry::BBoxError>(())
+/// ```
+pub fn find_new_regions(
+    clusters: &[BBox],
+    predicted: &[BBox],
+    coverage_threshold: f64,
+) -> Vec<BBox> {
+    let mut fresh: Vec<BBox> = clusters
+        .iter()
+        .filter(|c| {
+            !predicted
+                .iter()
+                .any(|p| c.coverage_by(p) >= coverage_threshold)
+        })
+        .copied()
+        .collect();
+    // Merge transitively-overlapping regions into hulls.
+    let mut merged = true;
+    while merged {
+        merged = false;
+        'outer: for i in 0..fresh.len() {
+            for j in i + 1..fresh.len() {
+                if fresh[i].intersection_area(&fresh[j]) > 0.0 {
+                    let hull = fresh[i].union_hull(&fresh[j]);
+                    fresh.swap_remove(j);
+                    fresh[i] = hull;
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f64, y: f64, s: f64) -> BBox {
+        BBox::new(x, y, x + s, y + s).unwrap()
+    }
+
+    #[test]
+    fn covered_clusters_are_dropped() {
+        let clusters = [bb(100.0, 100.0, 50.0)];
+        let predicted = [bb(95.0, 95.0, 60.0)];
+        assert!(find_new_regions(&clusters, &predicted, 0.5).is_empty());
+    }
+
+    #[test]
+    fn uncovered_clusters_survive() {
+        let clusters = [bb(100.0, 100.0, 50.0), bb(500.0, 400.0, 40.0)];
+        let predicted = [bb(95.0, 95.0, 60.0)];
+        let fresh = find_new_regions(&clusters, &predicted, 0.5);
+        assert_eq!(fresh, vec![bb(500.0, 400.0, 40.0)]);
+    }
+
+    #[test]
+    fn partial_coverage_below_threshold_counts_as_new() {
+        let clusters = [bb(100.0, 100.0, 100.0)];
+        // Covers only ~25% of the cluster.
+        let predicted = [bb(100.0, 100.0, 50.0)];
+        let fresh = find_new_regions(&clusters, &predicted, 0.5);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_new_clusters_merge() {
+        let clusters = [bb(100.0, 100.0, 60.0), bb(140.0, 120.0, 60.0)];
+        let fresh = find_new_regions(&clusters, &[], 0.5);
+        assert_eq!(fresh.len(), 1);
+        assert!(fresh[0].contains_box(&clusters[0]));
+        assert!(fresh[0].contains_box(&clusters[1]));
+    }
+
+    #[test]
+    fn chain_of_overlaps_merges_transitively() {
+        let clusters = [bb(0.0, 0.0, 50.0), bb(40.0, 0.0, 50.0), bb(80.0, 0.0, 50.0)];
+        let fresh = find_new_regions(&clusters, &[], 0.5);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0], BBox::new(0.0, 0.0, 130.0, 50.0).unwrap());
+    }
+
+    #[test]
+    fn disjoint_new_clusters_stay_separate() {
+        let clusters = [bb(0.0, 0.0, 30.0), bb(500.0, 500.0, 30.0)];
+        let fresh = find_new_regions(&clusters, &[], 0.5);
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(find_new_regions(&[], &[], 0.5).is_empty());
+        let clusters = [bb(0.0, 0.0, 30.0)];
+        assert_eq!(find_new_regions(&clusters, &[], 0.5), clusters.to_vec());
+    }
+}

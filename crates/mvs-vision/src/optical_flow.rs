@@ -1,0 +1,240 @@
+//! Simulated optical flow.
+//!
+//! The paper uses dense-inverse-search optical flow to (a) project tracked
+//! object locations into the current frame and (b) find clusters of moving
+//! pixels that belong to no tracked object — candidate new objects. With
+//! statically mounted cameras, all pixel motion is object motion.
+//!
+//! This module simulates flow at the object level: the field knows the true
+//! inter-frame displacement of every object and serves noisy displacement
+//! queries *by pixel location* (never by object identity), which is exactly
+//! the interface a real flow estimator offers.
+
+use crate::GroundTruthObject;
+use mvs_geometry::{BBox, Point2};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A flow displacement sample (pixels moved between the two input frames).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowVector {
+    /// Pixel displacement from the previous frame to the current frame.
+    pub displacement: Point2,
+}
+
+/// A simulated dense optical-flow field between two consecutive frames.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::{BBox, Point2};
+/// use mvs_vision::{FlowField, GroundTruthObject};
+/// use rand::SeedableRng;
+///
+/// let prev = [GroundTruthObject { id: 1, bbox: BBox::new(0.0, 0.0, 50.0, 50.0)? }];
+/// let curr = [GroundTruthObject { id: 1, bbox: BBox::new(10.0, 0.0, 60.0, 50.0)? }];
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+/// // Querying inside the object's previous box returns its motion.
+/// let v = flow.displacement_at(Point2::new(25.0, 25.0));
+/// assert_eq!(v.displacement, Point2::new(10.0, 0.0));
+/// // Background pixels do not move (static camera).
+/// assert_eq!(flow.displacement_at(Point2::new(500.0, 500.0)).displacement, Point2::ORIGIN);
+/// # Ok::<(), mvs_geometry::BBoxError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowField {
+    /// Previous-frame object boxes (the support of non-zero flow).
+    prev: Vec<GroundTruthObject>,
+    /// Noisy per-object displacement, keyed by ground-truth id. Internal
+    /// only — lookups go through pixel positions.
+    motions: HashMap<u64, Point2>,
+    /// Clusters of moving pixels in the *current* frame.
+    clusters: Vec<BBox>,
+}
+
+impl FlowField {
+    /// Minimum displacement (pixels) for an object to register as "moving".
+    pub const MOTION_EPSILON: f64 = 0.5;
+
+    /// Estimates flow between two frames described by their ground-truth
+    /// object sets. `noise_px` is the standard deviation of the estimation
+    /// noise added to each displacement component.
+    pub fn estimate<R: Rng + ?Sized>(
+        prev: &[GroundTruthObject],
+        curr: &[GroundTruthObject],
+        noise_px: f64,
+        rng: &mut R,
+    ) -> FlowField {
+        let prev_by_id: HashMap<u64, &GroundTruthObject> = prev.iter().map(|o| (o.id, o)).collect();
+        let mut motions = HashMap::new();
+        let mut clusters = Vec::new();
+        for c in curr {
+            let noise = Point2::new(gaussian(rng) * noise_px, gaussian(rng) * noise_px);
+            match prev_by_id.get(&c.id) {
+                Some(p) => {
+                    let motion = c.bbox.center() - p.bbox.center() + noise;
+                    if motion.norm() > Self::MOTION_EPSILON {
+                        clusters.push(c.bbox);
+                    }
+                    motions.insert(c.id, motion);
+                }
+                None => {
+                    // Newly appeared object: all of its pixels changed, so it
+                    // shows up as a moving cluster even though no
+                    // displacement vector exists for it.
+                    clusters.push(c.bbox);
+                }
+            }
+        }
+        FlowField {
+            prev: prev.to_vec(),
+            motions,
+            clusters,
+        }
+    }
+
+    /// The flow displacement at a pixel of the *previous* frame.
+    ///
+    /// Pixels inside a previous-frame object box move with that object;
+    /// background pixels are static (the cameras are statically mounted).
+    /// When boxes overlap, the smaller (closer) object wins.
+    pub fn displacement_at(&self, p: Point2) -> FlowVector {
+        let mut best: Option<(&GroundTruthObject, f64)> = None;
+        for o in &self.prev {
+            if o.bbox.contains_point(p) {
+                let area = o.bbox.area();
+                if best.is_none_or(|(_, a)| area < a) {
+                    best = Some((o, area));
+                }
+            }
+        }
+        let displacement = best
+            .and_then(|(o, _)| self.motions.get(&o.id).copied())
+            .unwrap_or(Point2::ORIGIN);
+        FlowVector { displacement }
+    }
+
+    /// Clusters of moving pixels in the current frame (object-sized boxes).
+    ///
+    /// Includes both moving known objects and newly appeared objects; the
+    /// new-region detector subtracts predicted track boxes from this list.
+    pub fn moving_clusters(&self) -> &[BBox] {
+        &self.clusters
+    }
+}
+
+/// One standard normal draw (Box–Muller).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn obj(id: u64, x: f64, y: f64, side: f64) -> GroundTruthObject {
+        GroundTruthObject {
+            id,
+            bbox: BBox::new(x, y, x + side, y + side).unwrap(),
+        }
+    }
+
+    #[test]
+    fn noiseless_flow_is_exact() {
+        let prev = [obj(1, 0.0, 0.0, 40.0), obj(2, 200.0, 200.0, 40.0)];
+        let curr = [obj(1, 5.0, 3.0, 40.0), obj(2, 200.0, 200.0, 40.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+        assert_eq!(
+            flow.displacement_at(Point2::new(20.0, 20.0)).displacement,
+            Point2::new(5.0, 3.0)
+        );
+        // Object 2 did not move.
+        assert_eq!(
+            flow.displacement_at(Point2::new(220.0, 220.0)).displacement,
+            Point2::ORIGIN
+        );
+    }
+
+    #[test]
+    fn moving_clusters_only_for_movers_and_newcomers() {
+        let prev = [obj(1, 0.0, 0.0, 40.0), obj(2, 200.0, 200.0, 40.0)];
+        let curr = [
+            obj(1, 10.0, 0.0, 40.0),    // moved
+            obj(2, 200.0, 200.0, 40.0), // static
+            obj(3, 400.0, 100.0, 40.0), // new
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+        let clusters = flow.moving_clusters();
+        assert_eq!(clusters.len(), 2);
+        assert!(clusters.iter().any(|c| *c == curr[0].bbox));
+        assert!(clusters.iter().any(|c| *c == curr[2].bbox));
+    }
+
+    #[test]
+    fn overlapping_boxes_prefer_smaller_object() {
+        // A small object in front of a large one: the small box's pixels
+        // should carry the small object's motion.
+        let prev = [
+            GroundTruthObject {
+                id: 1,
+                bbox: BBox::new(0.0, 0.0, 200.0, 200.0).unwrap(),
+            },
+            GroundTruthObject {
+                id: 2,
+                bbox: BBox::new(50.0, 50.0, 90.0, 90.0).unwrap(),
+            },
+        ];
+        let curr = [
+            GroundTruthObject {
+                id: 1,
+                bbox: BBox::new(2.0, 0.0, 202.0, 200.0).unwrap(),
+            },
+            GroundTruthObject {
+                id: 2,
+                bbox: BBox::new(60.0, 50.0, 100.0, 90.0).unwrap(),
+            },
+        ];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+        let v = flow.displacement_at(Point2::new(70.0, 70.0));
+        assert_eq!(v.displacement, Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn noise_perturbs_but_is_bounded_in_distribution() {
+        let prev = [obj(1, 100.0, 100.0, 60.0)];
+        let curr = [obj(1, 110.0, 100.0, 60.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut total_err = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let flow = FlowField::estimate(&prev, &curr, 1.5, &mut rng);
+            let v = flow.displacement_at(Point2::new(130.0, 130.0)).displacement;
+            total_err += (v - Point2::new(10.0, 0.0)).norm();
+        }
+        let mean_err = total_err / n as f64;
+        // Mean error of a 2-D gaussian with sigma 1.5 ≈ 1.88.
+        assert!(mean_err > 0.5 && mean_err < 4.0, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn disappeared_object_contributes_nothing() {
+        let prev = [obj(1, 0.0, 0.0, 40.0)];
+        let curr: [GroundTruthObject; 0] = [];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+        assert!(flow.moving_clusters().is_empty());
+        // Query inside the vanished object's old box: no motion info.
+        assert_eq!(
+            flow.displacement_at(Point2::new(20.0, 20.0)).displacement,
+            Point2::ORIGIN
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the vision substrate: batching arithmetic,
+//! latency-profile consistency, slicing, and tracker lifecycle.
+
+use mvs_geometry::{BBox, FrameDims, SizeClass};
+use mvs_vision::{
+    batches_needed, find_new_regions, slice_regions, DeviceKind, FlowTracker, LatencyProfile,
+    SizeCounts, TrackerConfig,
+};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceKind> {
+    prop::sample::select(vec![DeviceKind::Nano, DeviceKind::Tx2, DeviceKind::Xavier])
+}
+
+fn arb_sizes() -> impl Strategy<Value = Vec<SizeClass>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            SizeClass::S64,
+            SizeClass::S128,
+            SizeClass::S256,
+            SizeClass::S512,
+        ]),
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn batches_needed_is_minimal(count in 0usize..200, limit in 1usize..20) {
+        let b = batches_needed(count, limit);
+        prop_assert!(b * limit >= count, "must fit all crops");
+        if b > 0 {
+            prop_assert!((b - 1) * limit < count, "must be the minimum batch count");
+        } else {
+            prop_assert_eq!(count, 0);
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_workload(sizes in arb_sizes(), device in arb_device()) {
+        let profile = LatencyProfile::for_device(device);
+        let mut counts = SizeCounts::new();
+        let mut prev = 0.0;
+        for s in sizes {
+            counts.add(s);
+            let now = counts.latency_ms(&profile);
+            prop_assert!(now + 1e-9 >= prev, "latency decreased: {now} < {prev}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn disabling_batching_never_reduces_latency(sizes in arb_sizes(), device in arb_device()) {
+        let batched = LatencyProfile::for_device(device);
+        let serial = batched.without_batching();
+        let counts = SizeCounts::from_sizes(sizes);
+        prop_assert!(counts.latency_ms(&serial) + 1e-9 >= counts.latency_ms(&batched));
+    }
+
+    #[test]
+    fn open_batch_capacity_is_below_limit(sizes in arb_sizes(), device in arb_device()) {
+        let profile = LatencyProfile::for_device(device);
+        let counts = SizeCounts::from_sizes(sizes);
+        for s in SizeClass::ALL {
+            let cap = counts.open_batch_capacity(s, &profile);
+            prop_assert!(cap < profile.batch_limit(s));
+        }
+    }
+
+    #[test]
+    fn size_counts_total_matches_additions(sizes in arb_sizes()) {
+        let counts = SizeCounts::from_sizes(sizes.clone());
+        prop_assert_eq!(counts.total(), sizes.len());
+        let per_class: usize = SizeClass::ALL.iter().map(|&s| counts.count(s)).sum();
+        prop_assert_eq!(per_class, sizes.len());
+    }
+
+    #[test]
+    fn sliced_regions_have_the_tracks_quantized_size(
+        boxes in prop::collection::vec(
+            (0.0f64..1200.0, 0.0f64..600.0, 10.0f64..300.0, 10.0f64..300.0),
+            1..10,
+        ),
+    ) {
+        let mut tracker = FlowTracker::new(TrackerConfig::default(), FrameDims::REGULAR);
+        for (x, y, w, h) in boxes {
+            tracker.seed(
+                BBox::new(x, y, (x + w).min(1280.0), (y + h).min(704.0)).expect("valid box"),
+                None,
+            );
+        }
+        let tasks = slice_regions(tracker.tracks(), FrameDims::REGULAR);
+        prop_assert_eq!(tasks.len(), tracker.tracks().len());
+        for (task, track) in tasks.iter().zip(tracker.tracks()) {
+            prop_assert_eq!(task.size, track.size);
+            prop_assert!(FrameDims::REGULAR.contains(&task.region));
+            prop_assert!(task.region.width() <= task.size.side() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn new_regions_never_overlap_each_other(
+        clusters in prop::collection::vec(
+            (0.0f64..1000.0, 0.0f64..600.0, 10.0f64..150.0),
+            0..12,
+        ),
+    ) {
+        let boxes: Vec<BBox> = clusters
+            .iter()
+            .map(|&(x, y, s)| BBox::new(x, y, x + s, y + s).expect("valid box"))
+            .collect();
+        let fresh = find_new_regions(&boxes, &[], 0.5);
+        // After merging, the returned regions are pairwise disjoint.
+        for i in 0..fresh.len() {
+            for j in i + 1..fresh.len() {
+                prop_assert_eq!(fresh[i].intersection_area(&fresh[j]), 0.0);
+            }
+        }
+        // And every input cluster is contained in some output region.
+        for b in &boxes {
+            prop_assert!(fresh.iter().any(|f| f.contains_box(b)));
+        }
+    }
+
+    #[test]
+    fn tracker_misses_accumulate_and_prune(misses in 1u32..6) {
+        let config = TrackerConfig {
+            max_misses: misses,
+            ..Default::default()
+        };
+        let mut tracker = FlowTracker::new(config, FrameDims::REGULAR);
+        tracker.seed(BBox::new(100.0, 100.0, 160.0, 150.0).expect("valid box"), None);
+        for _ in 0..misses {
+            tracker.associate(&[]);
+            prop_assert!(tracker.prune().is_empty());
+        }
+        tracker.associate(&[]);
+        prop_assert_eq!(tracker.prune().len(), 1);
+        prop_assert!(tracker.tracks().is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Heterogeneous fleet: how BALB exploits device heterogeneity.
+//!
+//! Builds standalone MVS instances over fleets with different device
+//! mixes and compares BALB against the exact optimum and the static
+//! baseline — no simulation, pure scheduling.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_fleet
+//! ```
+
+use multiview_scheduler::core::{
+    balb_central, baselines, exact, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo,
+};
+use multiview_scheduler::geometry::SizeClass;
+use multiview_scheduler::vision::{DeviceKind, LatencyProfile};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Builds a random instance over an explicit device fleet: every object is
+/// visible from a random subset of cameras with perspective-dependent
+/// sizes.
+fn instance<R: Rng>(devices: &[DeviceKind], objects: usize, rng: &mut R) -> MvsProblem {
+    let cameras: Vec<CameraInfo> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| CameraInfo {
+            id: CameraId(i),
+            profile: LatencyProfile::for_device(d),
+        })
+        .collect();
+    let objects: Vec<ObjectInfo> = (0..objects)
+        .map(|j| {
+            let mut sizes = BTreeMap::new();
+            let primary = rng.gen_range(0..devices.len());
+            sizes.insert(CameraId(primary), random_size(rng));
+            for c in 0..devices.len() {
+                if c != primary && rng.gen_bool(0.5) {
+                    sizes.insert(CameraId(c), random_size(rng));
+                }
+            }
+            ObjectInfo {
+                id: ObjectId(j),
+                sizes,
+            }
+        })
+        .collect();
+    MvsProblem::new(cameras, objects).expect("constructed instances are valid")
+}
+
+fn random_size<R: Rng>(rng: &mut R) -> SizeClass {
+    let sizes = [
+        SizeClass::S64,
+        SizeClass::S128,
+        SizeClass::S256,
+        SizeClass::S512,
+    ];
+    sizes[rng.gen_range(0..10usize).min(3)]
+}
+
+fn main() {
+    let fleets: [(&str, Vec<DeviceKind>); 3] = [
+        ("3x Xavier (homogeneous)", vec![DeviceKind::Xavier; 3]),
+        (
+            "Xavier + TX2 + Nano (paper's S3)",
+            vec![DeviceKind::Xavier, DeviceKind::Tx2, DeviceKind::Nano],
+        ),
+        ("3x Nano (weak homogeneous)", vec![DeviceKind::Nano; 3]),
+    ];
+    println!("fleet                             BALB      optimal   SP        BALB/opt");
+    println!("{}", "-".repeat(78));
+    for (name, devices) in fleets {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (mut balb_sum, mut opt_sum, mut sp_sum) = (0.0, 0.0, 0.0);
+        let trials = 20;
+        for _ in 0..trials {
+            let p = instance(&devices, 10, &mut rng);
+            balb_sum += balb_central(&p).system_latency_ms();
+            opt_sum += exact::solve(&p, true, 10_000_000)
+                .expect("small instances solve exactly")
+                .system_latency_ms;
+            sp_sum += baselines::static_partition_by_id(&p).system_latency_ms(&p, true);
+        }
+        let n = trials as f64;
+        println!(
+            "{name:<32}  {:>7.1}  {:>7.1}  {:>7.1}   {:.3}",
+            balb_sum / n,
+            opt_sum / n,
+            sp_sum / n,
+            balb_sum / opt_sum
+        );
+    }
+    println!("\nBALB tracks the optimum closely and its advantage over the static");
+    println!("partition grows with device heterogeneity — the load-and-resource-aware");
+    println!("assignment matters most when cameras differ in processing power.");
+}

@@ -1,0 +1,108 @@
+//! Intersection monitoring: watch the BALB central stage rebalance the
+//! object→camera assignment as platoons move through a signalized
+//! intersection.
+//!
+//! This example drives the *library* APIs directly (world → projection →
+//! association → scheduling) rather than using the packaged pipeline, to
+//! show how the pieces compose.
+//!
+//! ```sh
+//! cargo run --release --example intersection_monitoring
+//! ```
+
+use multiview_scheduler::core::{
+    balb_central, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo,
+};
+use multiview_scheduler::geometry::SizeClass;
+use multiview_scheduler::sim::{CorrespondenceData, Scenario, ScenarioKind, TrainedAssociation};
+use multiview_scheduler::vision::LatencyProfile;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+
+    println!("training cross-camera association models (offline stage)…");
+    let data = CorrespondenceData::collect(&scenario, 60.0, 2, &mut rng);
+    let trained = TrainedAssociation::train(scenario.num_cameras(), &data, 3, 0.15)
+        .expect("the scenario produces trainable data");
+    println!("  {} labeled correspondences collected\n", data.len());
+
+    let profiles: Vec<LatencyProfile> = scenario
+        .devices
+        .iter()
+        .map(|&d| LatencyProfile::for_device(d))
+        .collect();
+
+    // Simulate a minute and schedule a key frame every 5 seconds.
+    let mut world = scenario.warmed_world(45.0, &mut rng);
+    for round in 0..12 {
+        for _ in 0..50 {
+            world.step(scenario.frame_dt_s(), &mut rng);
+        }
+        // Project ground truth into every camera and associate.
+        let views: Vec<Vec<_>> = scenario
+            .cameras
+            .iter()
+            .map(|c| c.visible_objects(&world, scenario.occlusion_threshold))
+            .collect();
+        let boxes: Vec<Vec<_>> = views
+            .iter()
+            .map(|v| v.iter().map(|g| g.bbox).collect())
+            .collect();
+        let globals = trained.engine.associate(&boxes);
+
+        // Build the MVS instance and run the BALB central stage.
+        let cameras: Vec<CameraInfo> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| CameraInfo {
+                id: CameraId(i),
+                profile: p.clone(),
+            })
+            .collect();
+        let objects: Vec<ObjectInfo> = globals
+            .iter()
+            .enumerate()
+            .map(|(g, go)| ObjectInfo {
+                id: ObjectId(g),
+                sizes: go
+                    .members
+                    .iter()
+                    .map(|&(cam, det)| {
+                        let b = boxes[cam][det];
+                        (
+                            CameraId(cam),
+                            SizeClass::quantize(b.width() * 1.25, b.height() * 1.25),
+                        )
+                    })
+                    .collect::<BTreeMap<_, _>>(),
+            })
+            .collect();
+        if objects.is_empty() {
+            println!("t={:>5.1}s  no objects in view", world.time_s());
+            continue;
+        }
+        let problem = MvsProblem::new(cameras, objects).expect("valid instance");
+        let schedule = balb_central(&problem);
+
+        let mut per_camera = vec![0usize; scenario.num_cameras()];
+        for g in 0..problem.num_objects() {
+            if let Some(owner) = schedule.assignment.sole_owner(ObjectId(g)) {
+                per_camera[owner.0] += 1;
+            }
+        }
+        println!(
+            "t={:>5.1}s  {:>2} objects  assignment per camera {:?}  max latency {:>6.1} ms",
+            world.time_s(),
+            problem.num_objects(),
+            per_camera,
+            schedule.system_latency_ms(),
+        );
+        let _ = round;
+    }
+    println!("\nNote how the assignment shifts between cameras as the signal phases");
+    println!("move platoons through different fields of view (the Fig. 2 dynamics).");
+}

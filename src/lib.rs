@@ -1,0 +1,60 @@
+//! **multiview-scheduler** — a complete reproduction of *"Multi-View
+//! Scheduling of Onboard Live Video Analytics to Minimize Frame Processing
+//! Latency"* (Liu et al., ICDCS 2022) as a Rust workspace.
+//!
+//! Multiple static cameras with partially overlapping fields of view run
+//! DNN-based object detection on weak onboard GPUs. The paper's
+//! **Batch-Aware Latency-Balanced (BALB)** scheduler assigns each physical
+//! object to exactly one camera so that the *maximum* per-frame inference
+//! latency across cameras is minimized, exploiting GPU batching of
+//! equally-sized crops and re-balancing at every key frame.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geometry`] | `mvs-geometry` | boxes, IoU, grids, polygons, transforms |
+//! | [`ml`] | `mvs-ml` | KNN, SVM, logistic, trees, RANSAC, homography, Hungarian |
+//! | [`vision`] | `mvs-vision` | detector + latency profiles, flow tracking, slicing, batching |
+//! | [`assoc`] | `mvs-assoc` | cross-camera association |
+//! | [`core`] | `mvs-core` | the MVS problem, BALB, baselines, exact solver |
+//! | [`sim`] | `mvs-sim` | scenarios S1–S3, world, network, end-to-end pipeline |
+//! | [`metrics`] | `mvs-metrics` | recall, latency series, overhead breakdowns |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use multiview_scheduler::sim::{run_pipeline, Algorithm, PipelineConfig, Scenario, ScenarioKind};
+//!
+//! let scenario = Scenario::new(ScenarioKind::S1);
+//! let config = PipelineConfig::paper_default(Algorithm::Balb);
+//! let result = run_pipeline(&scenario, &config);
+//! println!(
+//!     "BALB on S1: recall {:.3}, mean per-frame latency {:.1} ms",
+//!     result.recall, result.mean_latency_ms
+//! );
+//! ```
+//!
+//! Or schedule a standalone MVS instance:
+//!
+//! ```
+//! use multiview_scheduler::core::{balb_central, MvsProblem, ProblemConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let problem = MvsProblem::random(&mut rng, 4, 30, &ProblemConfig::default());
+//! let schedule = balb_central(&problem);
+//! assert!(schedule.assignment.is_feasible(&problem));
+//! println!("system latency: {:.1} ms", schedule.system_latency_ms());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mvs_assoc as assoc;
+pub use mvs_core as core;
+pub use mvs_geometry as geometry;
+pub use mvs_metrics as metrics;
+pub use mvs_ml as ml;
+pub use mvs_sim as sim;
+pub use mvs_vision as vision;

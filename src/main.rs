@@ -1,0 +1,382 @@
+//! `mvs` — command-line front end for the multi-view scheduling pipeline.
+//!
+//! ```text
+//! mvs run <s1|s2|s3> <algorithm> [options]   run one pipeline configuration
+//! mvs compare <s1|s2|s3> [options]           run every algorithm side by side
+//! mvs workload <s1|s2|s3>                    per-camera workload series (Fig. 2)
+//! ```
+//!
+//! Algorithms: `full`, `balb`, `balb-ind`, `balb-cen`, `sp`, `sp-oracle`.
+//! Options: `--horizon N`, `--train-s S`, `--eval-s S`, `--seed N`,
+//! `--redundancy N`, `--no-batching`.
+
+use multiview_scheduler::metrics::{sparkline_fit, TextTable};
+use multiview_scheduler::sim::{run_pipeline, Algorithm, PipelineConfig, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
+
+mod cli {
+    //! Hand-rolled argument parsing (kept dependency-free and testable).
+
+    use multiview_scheduler::sim::{Algorithm, ScenarioKind};
+
+    /// A parsed invocation.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Command {
+        /// Run one algorithm on one scenario.
+        Run {
+            /// Scenario under test.
+            scenario: ScenarioKind,
+            /// Algorithm under test.
+            algorithm: Algorithm,
+            /// Common tuning options.
+            options: Options,
+        },
+        /// Run every algorithm on one scenario.
+        Compare {
+            /// Scenario under test.
+            scenario: ScenarioKind,
+            /// Common tuning options.
+            options: Options,
+        },
+        /// Print the per-camera workload series.
+        Workload {
+            /// Scenario under test.
+            scenario: ScenarioKind,
+        },
+        /// Print usage.
+        Help,
+    }
+
+    /// Tunables shared by `run` and `compare`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Options {
+        pub horizon: usize,
+        pub train_s: f64,
+        pub eval_s: f64,
+        pub seed: u64,
+        pub redundancy: usize,
+        pub disable_batching: bool,
+    }
+
+    impl Default for Options {
+        fn default() -> Self {
+            Options {
+                horizon: 10,
+                train_s: 60.0,
+                eval_s: 60.0,
+                seed: 17,
+                redundancy: 1,
+                disable_batching: false,
+            }
+        }
+    }
+
+    /// Parses `args` (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let Some(cmd) = it.next() else {
+            return Ok(Command::Help);
+        };
+        match cmd.as_str() {
+            "-h" | "--help" | "help" => Ok(Command::Help),
+            "run" => {
+                let scenario = parse_scenario(it.next())?;
+                let algorithm = parse_algorithm(it.next())?;
+                let options = parse_options(it.as_slice())?;
+                Ok(Command::Run {
+                    scenario,
+                    algorithm,
+                    options,
+                })
+            }
+            "compare" => {
+                let scenario = parse_scenario(it.next())?;
+                let options = parse_options(it.as_slice())?;
+                Ok(Command::Compare { scenario, options })
+            }
+            "workload" => {
+                let scenario = parse_scenario(it.next())?;
+                Ok(Command::Workload { scenario })
+            }
+            other => Err(format!("unknown command `{other}`; try --help")),
+        }
+    }
+
+    fn parse_scenario(arg: Option<&String>) -> Result<ScenarioKind, String> {
+        match arg.map(String::as_str) {
+            Some("s1") | Some("S1") => Ok(ScenarioKind::S1),
+            Some("s2") | Some("S2") => Ok(ScenarioKind::S2),
+            Some("s3") | Some("S3") => Ok(ScenarioKind::S3),
+            Some(other) => Err(format!("unknown scenario `{other}` (expected s1|s2|s3)")),
+            None => Err("missing scenario (expected s1|s2|s3)".to_string()),
+        }
+    }
+
+    fn parse_algorithm(arg: Option<&String>) -> Result<Algorithm, String> {
+        match arg.map(String::as_str) {
+            Some("full") => Ok(Algorithm::Full),
+            Some("balb") => Ok(Algorithm::Balb),
+            Some("balb-ind") => Ok(Algorithm::BalbInd),
+            Some("balb-cen") => Ok(Algorithm::BalbCen),
+            Some("sp") => Ok(Algorithm::StaticPartition),
+            Some("sp-oracle") => Ok(Algorithm::StaticPartitionOracle),
+            Some(other) => Err(format!(
+                "unknown algorithm `{other}` (expected full|balb|balb-ind|balb-cen|sp|sp-oracle)"
+            )),
+            None => Err("missing algorithm".to_string()),
+        }
+    }
+
+    fn parse_options(rest: &[String]) -> Result<Options, String> {
+        let mut options = Options::default();
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--horizon" => {
+                    options.horizon = value("--horizon")?
+                        .parse()
+                        .map_err(|e| format!("--horizon: {e}"))?;
+                    if options.horizon == 0 {
+                        return Err("--horizon must be positive".to_string());
+                    }
+                }
+                "--train-s" => {
+                    options.train_s = value("--train-s")?
+                        .parse()
+                        .map_err(|e| format!("--train-s: {e}"))?;
+                }
+                "--eval-s" => {
+                    options.eval_s = value("--eval-s")?
+                        .parse()
+                        .map_err(|e| format!("--eval-s: {e}"))?;
+                }
+                "--seed" => {
+                    options.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--redundancy" => {
+                    options.redundancy = value("--redundancy")?
+                        .parse()
+                        .map_err(|e| format!("--redundancy: {e}"))?;
+                    if options.redundancy == 0 {
+                        return Err("--redundancy must be positive".to_string());
+                    }
+                }
+                "--no-batching" => options.disable_batching = true,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(options)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn args(s: &str) -> Vec<String> {
+            s.split_whitespace().map(String::from).collect()
+        }
+
+        #[test]
+        fn parses_run_with_defaults() {
+            let c = parse(&args("run s1 balb")).unwrap();
+            assert_eq!(
+                c,
+                Command::Run {
+                    scenario: ScenarioKind::S1,
+                    algorithm: Algorithm::Balb,
+                    options: Options::default(),
+                }
+            );
+        }
+
+        #[test]
+        fn parses_all_algorithms() {
+            for (name, alg) in [
+                ("full", Algorithm::Full),
+                ("balb", Algorithm::Balb),
+                ("balb-ind", Algorithm::BalbInd),
+                ("balb-cen", Algorithm::BalbCen),
+                ("sp", Algorithm::StaticPartition),
+                ("sp-oracle", Algorithm::StaticPartitionOracle),
+            ] {
+                match parse(&args(&format!("run s2 {name}"))).unwrap() {
+                    Command::Run { algorithm, .. } => assert_eq!(algorithm, alg),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+
+        #[test]
+        fn parses_options() {
+            let c = parse(&args(
+                "run s3 balb --horizon 20 --seed 5 --redundancy 2 --no-batching",
+            ))
+            .unwrap();
+            match c {
+                Command::Run { options, .. } => {
+                    assert_eq!(options.horizon, 20);
+                    assert_eq!(options.seed, 5);
+                    assert_eq!(options.redundancy, 2);
+                    assert!(options.disable_batching);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn rejects_bad_input() {
+            assert!(parse(&args("run s9 balb")).is_err());
+            assert!(parse(&args("run s1 warp")).is_err());
+            assert!(parse(&args("run s1 balb --horizon 0")).is_err());
+            assert!(parse(&args("run s1 balb --horizon")).is_err());
+            assert!(parse(&args("frobnicate")).is_err());
+            assert!(parse(&args("run s1 balb --redundancy 0")).is_err());
+        }
+
+        #[test]
+        fn empty_and_help() {
+            assert_eq!(parse(&[]).unwrap(), Command::Help);
+            assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+            assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        }
+
+        #[test]
+        fn compare_and_workload() {
+            assert!(matches!(
+                parse(&args("compare s2")).unwrap(),
+                Command::Compare { .. }
+            ));
+            assert!(matches!(
+                parse(&args("workload s3")).unwrap(),
+                Command::Workload {
+                    scenario: ScenarioKind::S3
+                }
+            ));
+        }
+    }
+}
+
+const USAGE: &str = "\
+mvs — multi-view scheduling of onboard live video analytics (ICDCS 2022)
+
+USAGE:
+    mvs run <s1|s2|s3> <algorithm> [options]   run one pipeline configuration
+    mvs compare <s1|s2|s3> [options]           run every algorithm side by side
+    mvs workload <s1|s2|s3>                    per-camera workload series (Fig. 2)
+
+ALGORITHMS:
+    full        full-frame inspection on every frame
+    balb        the paper's complete scheduler
+    balb-ind    per-camera BALB without coordination
+    balb-cen    central stage only
+    sp          static spatial partitioning baseline
+    sp-oracle   SP with oracle world geometry (ablation)
+
+OPTIONS:
+    --horizon N       scheduling horizon in frames   (default 10)
+    --train-s S       association training seconds   (default 60)
+    --eval-s S        evaluated seconds              (default 60)
+    --seed N          RNG seed                       (default 17)
+    --redundancy N    owners per object              (default 1)
+    --no-batching     force GPU batch limits to one
+";
+
+fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
+    PipelineConfig {
+        horizon: options.horizon,
+        train_s: options.train_s,
+        eval_s: options.eval_s,
+        seed: options.seed,
+        redundancy: options.redundancy,
+        disable_batching: options.disable_batching,
+        ..PipelineConfig::paper_default(algorithm)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        cli::Command::Help => print!("{USAGE}"),
+        cli::Command::Run {
+            scenario,
+            algorithm,
+            options,
+        } => {
+            let sc = Scenario::new(scenario);
+            println!(
+                "running {algorithm} on {scenario} ({} cameras)…",
+                sc.num_cameras()
+            );
+            let result = run_pipeline(&sc, &config_from(algorithm, &options));
+            println!("  frames evaluated : {}", result.frames);
+            println!("  object recall    : {:.3}", result.recall);
+            println!("  mean latency     : {:.1} ms", result.mean_latency_ms);
+            println!(
+                "  per-camera mean  : {:?}",
+                result
+                    .per_camera_mean_ms
+                    .iter()
+                    .map(|v| (v * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>()
+            );
+            println!(
+                "  per-frame series : {}",
+                sparkline_fit(result.latency.samples_ms(), 60)
+            );
+            let oh = result.overhead_mean;
+            println!(
+                "  overheads        : central {:.2} ms, tracking {:.2} ms, distributed {:.3} ms, batching {:.2} ms",
+                oh.central_ms, oh.tracking_ms, oh.distributed_ms, oh.batching_ms
+            );
+        }
+        cli::Command::Compare { scenario, options } => {
+            let sc = Scenario::new(scenario);
+            let mut table = TextTable::new(vec!["algorithm", "recall", "latency (ms)", "speedup"]);
+            let mut full = None;
+            for algorithm in [
+                Algorithm::Full,
+                Algorithm::BalbInd,
+                Algorithm::BalbCen,
+                Algorithm::Balb,
+                Algorithm::StaticPartition,
+            ] {
+                let result = run_pipeline(&sc, &config_from(algorithm, &options));
+                let base = *full.get_or_insert(result.mean_latency_ms);
+                table.row(vec![
+                    algorithm.to_string(),
+                    format!("{:.3}", result.recall),
+                    format!("{:.1}", result.mean_latency_ms),
+                    format!("{:.2}x", base / result.mean_latency_ms),
+                ]);
+            }
+            println!("{scenario} comparison\n\n{table}");
+        }
+        cli::Command::Workload { scenario } => {
+            let sc = Scenario::new(scenario);
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let series = sc.workload_series(120.0, 2.0, &mut rng);
+            println!("{scenario} objects/frame per camera (120 s, sampled every 2 s)\n");
+            for (i, s) in series.iter().enumerate() {
+                let as_f: Vec<f64> = s.iter().map(|&v| v as f64).collect();
+                println!("  c{i} ({}) {}", sc.devices[i], sparkline_fit(&as_f, 60));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the `mvs` command-line binary, driven through the
+//! real executable.
+
+use std::process::Command;
+
+fn mvs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mvs"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = mvs().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8 output");
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("balb"));
+    assert!(text.contains("--horizon"));
+}
+
+#[test]
+fn no_arguments_also_prints_usage() {
+    let out = mvs().output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = mvs().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "stderr: {err}");
+}
+
+#[test]
+fn invalid_option_value_fails() {
+    let out = mvs()
+        .args(["run", "s1", "balb", "--horizon", "zero"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--horizon"));
+}
+
+#[test]
+fn short_run_reports_metrics() {
+    let out = mvs()
+        .args([
+            "run",
+            "s2",
+            "balb-ind",
+            "--train-s",
+            "10",
+            "--eval-s",
+            "5",
+            "--seed",
+            "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("object recall"), "stdout: {text}");
+    assert!(text.contains("mean latency"));
+    assert!(text.contains("per-frame series"));
+}
+
+#[test]
+fn workload_prints_one_sparkline_per_camera() {
+    let out = mvs()
+        .args(["workload", "s2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let camera_lines = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with('c'))
+        .count();
+    assert_eq!(camera_lines, 2, "stdout: {text}");
+}

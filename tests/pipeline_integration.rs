@@ -1,0 +1,263 @@
+//! End-to-end integration tests: the complete pipeline run on real
+//! scenarios, checking the paper's qualitative findings hold.
+//!
+//! These use shortened simulation spans so the whole suite stays fast; the
+//! full-length runs live in the `mvs-bench` experiment binaries.
+
+use multiview_scheduler::sim::{run_pipeline, Algorithm, PipelineConfig, Scenario, ScenarioKind};
+
+fn quick(algorithm: Algorithm) -> PipelineConfig {
+    PipelineConfig {
+        train_s: 40.0,
+        eval_s: 40.0,
+        ..PipelineConfig::paper_default(algorithm)
+    }
+}
+
+#[test]
+fn balb_speeds_up_every_scenario() {
+    for kind in ScenarioKind::ALL {
+        let scenario = Scenario::new(kind);
+        let full = run_pipeline(&scenario, &quick(Algorithm::Full));
+        let balb = run_pipeline(&scenario, &quick(Algorithm::Balb));
+        let speedup = full.mean_latency_ms / balb.mean_latency_ms;
+        assert!(
+            speedup > 2.0,
+            "{kind}: BALB speedup only {speedup:.2}x over Full"
+        );
+    }
+}
+
+#[test]
+fn full_baseline_latency_is_the_slowest_device() {
+    // Every scenario includes a Nano (650 ms full-frame).
+    for kind in ScenarioKind::ALL {
+        let scenario = Scenario::new(kind);
+        let full = run_pipeline(&scenario, &quick(Algorithm::Full));
+        assert!((full.mean_latency_ms - 650.0).abs() < 1e-9, "{kind}");
+    }
+}
+
+#[test]
+fn recall_ordering_matches_figure_12() {
+    // Full and BALB-Ind bound recall from above; the distributed stage
+    // recovers most of BALB-Cen's losses; SP trails BALB.
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let full = run_pipeline(&scenario, &quick(Algorithm::Full));
+    let ind = run_pipeline(&scenario, &quick(Algorithm::BalbInd));
+    let cen = run_pipeline(&scenario, &quick(Algorithm::BalbCen));
+    let balb = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let sp = run_pipeline(&scenario, &quick(Algorithm::StaticPartition));
+    assert!(full.recall > 0.9, "full {}", full.recall);
+    assert!(ind.recall > 0.9, "ind {}", ind.recall);
+    assert!(
+        balb.recall > cen.recall,
+        "balb {} cen {}",
+        balb.recall,
+        cen.recall
+    );
+    assert!(
+        balb.recall > sp.recall,
+        "balb {} sp {}",
+        balb.recall,
+        sp.recall
+    );
+}
+
+#[test]
+fn distributed_stage_helps_most_when_traffic_is_busy() {
+    // The paper: BALB-Cen degrades under busy traffic (S3); the
+    // distributed stage recovers it.
+    let scenario = Scenario::new(ScenarioKind::S3);
+    let cen = run_pipeline(&scenario, &quick(Algorithm::BalbCen));
+    let balb = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    assert!(
+        balb.recall >= cen.recall + 0.02,
+        "distributed stage gained only {} → {}",
+        cen.recall,
+        balb.recall
+    );
+}
+
+#[test]
+fn longer_horizons_trade_recall_for_latency() {
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let mut short = quick(Algorithm::Balb);
+    short.horizon = 2;
+    let mut long = quick(Algorithm::Balb);
+    long.horizon = 20;
+    let short_r = run_pipeline(&scenario, &short);
+    let long_r = run_pipeline(&scenario, &long);
+    assert!(
+        long_r.mean_latency_ms < short_r.mean_latency_ms,
+        "long horizon must amortize key frames: {} vs {}",
+        long_r.mean_latency_ms,
+        short_r.mean_latency_ms
+    );
+    assert!(
+        short_r.recall >= long_r.recall - 0.01,
+        "short horizon must not lose recall: {} vs {}",
+        short_r.recall,
+        long_r.recall
+    );
+}
+
+#[test]
+fn batching_contributes_to_the_speedup() {
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let batched = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let mut config = quick(Algorithm::Balb);
+    config.disable_batching = true;
+    let serial = run_pipeline(&scenario, &config);
+    assert!(
+        serial.mean_latency_ms > batched.mean_latency_ms * 1.1,
+        "batching gain too small: {} vs {}",
+        serial.mean_latency_ms,
+        batched.mean_latency_ms
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let a = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let b = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    assert_eq!(a.recall, b.recall);
+    assert_eq!(a.latency.samples_ms(), b.latency.samples_ms());
+    assert_eq!(a.per_camera_mean_ms, b.per_camera_mean_ms);
+}
+
+#[test]
+fn changing_the_seed_changes_the_traffic_but_not_the_conclusions() {
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let mut other = quick(Algorithm::Balb);
+    other.seed = 20_000;
+    let a = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let b = run_pipeline(&scenario, &other);
+    assert_ne!(a.latency.samples_ms(), b.latency.samples_ms());
+    // Different traffic, same qualitative regime.
+    assert!(b.recall > 0.85, "seeded run recall {}", b.recall);
+    assert!(b.mean_latency_ms < 400.0);
+}
+
+#[test]
+fn per_frame_series_has_one_sample_per_frame() {
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let result = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    assert_eq!(result.latency.len(), result.frames);
+    assert_eq!(result.frames, 400); // 40 s at 10 FPS
+                                    // Key frames (every 10th) carry the full-frame cost of the Nano.
+    let samples = result.latency.samples_ms();
+    for (i, &v) in samples.iter().enumerate() {
+        if i % 10 == 0 {
+            assert!((v - 650.0).abs() < 1e-9, "frame {i} should be a key frame");
+        } else {
+            assert!(v < 650.0, "regular frame {i} at {v} ms");
+        }
+    }
+}
+
+#[test]
+fn overhead_breakdown_is_within_paper_magnitudes() {
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let result = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let oh = result.overhead_mean;
+    assert!(
+        oh.total_ms() > 5.0 && oh.total_ms() < 60.0,
+        "total {}",
+        oh.total_ms()
+    );
+    // The scheduler itself is cheap (the paper's headline overhead
+    // claim). Measured wall-clock: allow debug-build slack.
+    assert!(
+        oh.distributed_ms < 10.0,
+        "distributed {}",
+        oh.distributed_ms
+    );
+    assert!(oh.central_ms < 20.0, "central {}", oh.central_ms);
+}
+
+#[test]
+fn redundant_assignment_raises_recall_and_latency() {
+    // The Sec. V extension: assigning each object to two cameras buys
+    // occlusion robustness at a latency cost.
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let single = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let mut config = quick(Algorithm::Balb);
+    config.redundancy = 2;
+    let double = run_pipeline(&scenario, &config);
+    assert!(
+        double.recall >= single.recall,
+        "redundancy lost recall: {} vs {}",
+        double.recall,
+        single.recall
+    );
+    assert!(
+        double.mean_latency_ms > single.mean_latency_ms,
+        "redundancy should cost latency: {} vs {}",
+        double.mean_latency_ms,
+        single.mean_latency_ms
+    );
+}
+
+#[test]
+fn degraded_detector_degrades_recall_gracefully() {
+    // Failure injection: a detector that misses a third of everything must
+    // lower recall but never break the pipeline or blow up latency.
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let healthy = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let mut config = quick(Algorithm::Balb);
+    config.detection.base_miss_rate = 0.35;
+    let degraded = run_pipeline(&scenario, &config);
+    assert!(degraded.recall < healthy.recall);
+    assert!(
+        degraded.recall > 0.3,
+        "recall collapsed: {}",
+        degraded.recall
+    );
+    assert!(degraded.mean_latency_ms < 650.0);
+}
+
+#[test]
+fn noisy_flow_hurts_but_does_not_break_tracking() {
+    // Failure injection: very noisy optical flow (10 px sigma) makes the
+    // predicted crops drift, costing recall, but the system keeps running.
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let clean = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let mut config = quick(Algorithm::Balb);
+    config.flow_noise_px = 10.0;
+    let noisy = run_pipeline(&scenario, &config);
+    assert!(noisy.recall <= clean.recall + 0.01);
+    assert!(noisy.recall > 0.5, "recall collapsed: {}", noisy.recall);
+}
+
+#[test]
+fn horizon_one_degenerates_to_keyframes_only() {
+    // T = 1 means every frame is a key frame: latency equals Full plus the
+    // central-stage overhead, and recall approaches the Full bound.
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let mut config = quick(Algorithm::Balb);
+    config.horizon = 1;
+    config.eval_s = 20.0;
+    let result = run_pipeline(&scenario, &config);
+    assert!((result.mean_latency_ms - 650.0).abs() < 1e-9);
+    assert!(result.recall > 0.9);
+}
+
+#[test]
+fn camera_lag_degrades_recall() {
+    // Sec. V "imperfect synchronization": a lagged camera answers for a
+    // stale scene, losing just-entered objects.
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let synced = run_pipeline(&scenario, &quick(Algorithm::Balb));
+    let mut cfg = quick(Algorithm::Balb);
+    cfg.camera_lag_frames = vec![0, 8];
+    let lagged = run_pipeline(&scenario, &cfg);
+    assert!(
+        lagged.recall < synced.recall,
+        "lag should cost recall: {} vs {}",
+        lagged.recall,
+        synced.recall
+    );
+    assert!(lagged.recall > 0.7, "recall collapsed: {}", lagged.recall);
+}
