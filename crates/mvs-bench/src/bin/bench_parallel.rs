@@ -1,0 +1,203 @@
+//! Perf-trajectory artifact: serial-vs-parallel wall-clock for sweep
+//! execution, per scenario, written to `results/BENCH_parallel.json`.
+//!
+//! Each scenario's sweep (algorithm × seed grid) is run twice over the same
+//! jobs: once strictly serially, once through [`parallel_map`]'s shared
+//! pool. Runs are deterministic in their config (measured overheads off),
+//! so the two passes must produce identical results — the bin asserts this
+//! — and the only difference is wall-clock time. On a multi-core host the
+//! sweep speedup approaches the pool width; on a single-core host it is ~1x
+//! (the JSON records `host_cpus` so readers can tell).
+//!
+//! Scenarios: the paper's S1/S3 plus a six-camera "S6" ring built with
+//! [`ScenarioBuilder`], exercising the engine above the largest preset.
+//!
+//! Run with `cargo run --release -p mvs-bench --bin bench_parallel`.
+
+use mvs_bench::{parallel_map, write_json, SEED};
+use mvs_geometry::{FrameDims, Point2};
+use mvs_metrics::TextTable;
+use mvs_sim::{
+    resolve_threads, run_pipeline, Algorithm, CameraModel, PipelineConfig, PipelineResult, Route,
+    Scenario, ScenarioBuilder, ScenarioKind, SpawnConfig, TrafficLight,
+};
+use mvs_vision::DeviceKind;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    cameras: usize,
+    jobs: usize,
+    pool_threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cpus: usize,
+    pool_threads: usize,
+    train_s: f64,
+    eval_s: f64,
+    rows: Vec<Row>,
+}
+
+/// Six cameras around a signalized intersection: S1's road network watched
+/// by a denser ring (2×Xavier, 2×TX2, 2×Nano).
+fn s6() -> Scenario {
+    let speed = 9.0;
+    let rate = 0.16;
+    let light = |offset| TrafficLight {
+        period_s: 40.0,
+        green_fraction: 0.45,
+        offset_s: offset,
+        stop_line_s: 100.0,
+    };
+    let lane = |waypoints, offset| {
+        (
+            Route::new(waypoints, speed),
+            SpawnConfig {
+                rate_per_s: rate,
+                min_gap_m: 10.0,
+            },
+            Some(light(offset)),
+        )
+    };
+    let lanes = [
+        lane(
+            vec![Point2::new(-110.0, -3.0), Point2::new(110.0, -3.0)],
+            0.0,
+        ),
+        lane(vec![Point2::new(110.0, 3.0), Point2::new(-110.0, 3.0)], 0.0),
+        lane(
+            vec![Point2::new(3.0, -110.0), Point2::new(3.0, 110.0)],
+            20.0,
+        ),
+        lane(
+            vec![Point2::new(-3.0, 110.0), Point2::new(-3.0, -110.0)],
+            20.0,
+        ),
+    ];
+    let frame = FrameDims::REGULAR;
+    let center = Point2::ORIGIN;
+    let ring = [
+        (Point2::new(-45.0, -18.0), DeviceKind::Xavier),
+        (Point2::new(45.0, 18.0), DeviceKind::Xavier),
+        (Point2::new(18.0, -45.0), DeviceKind::Tx2),
+        (Point2::new(-18.0, 45.0), DeviceKind::Tx2),
+        (Point2::new(-40.0, 22.0), DeviceKind::Nano),
+        (Point2::new(40.0, -22.0), DeviceKind::Nano),
+    ];
+    let mut builder = ScenarioBuilder::new("S6");
+    for (pos, device) in ring {
+        builder = builder.camera(CameraModel::looking_at(pos, center, frame), device);
+    }
+    for (route, spawn, light) in lanes {
+        builder = builder.lane(route, spawn, light);
+    }
+    builder.build().expect("S6 is well-formed")
+}
+
+fn sweep_config(algorithm: Algorithm, seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        train_s: 30.0,
+        eval_s: 30.0,
+        seed,
+        // Pure-function mode: lets us assert the serial and parallel passes
+        // agree bitwise.
+        measured_overheads: false,
+        ..PipelineConfig::paper_default(algorithm)
+    }
+}
+
+fn main() {
+    let algorithms = [
+        Algorithm::Full,
+        Algorithm::BalbInd,
+        Algorithm::StaticPartition,
+        Algorithm::Balb,
+    ];
+    let seeds = [SEED, SEED + 1];
+    let pool_threads = resolve_threads(0);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let scenarios: Vec<(String, Scenario)> = vec![
+        ("S1".to_string(), Scenario::new(ScenarioKind::S1)),
+        ("S3".to_string(), Scenario::new(ScenarioKind::S3)),
+        ("S6".to_string(), s6()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(vec![
+        "scenario",
+        "cameras",
+        "jobs",
+        "serial (ms)",
+        "parallel (ms)",
+        "speedup",
+    ]);
+    for (name, scenario) in &scenarios {
+        let jobs: Vec<(Algorithm, u64)> = algorithms
+            .iter()
+            .flat_map(|&a| seeds.iter().map(move |&s| (a, s)))
+            .collect();
+
+        let started = Instant::now();
+        let serial: Vec<PipelineResult> = jobs
+            .iter()
+            .map(|&(a, s)| run_pipeline(scenario, &sweep_config(a, s)))
+            .collect();
+        let serial_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        let parallel = parallel_map(jobs.clone(), |&(a, s)| {
+            run_pipeline(scenario, &sweep_config(a, s))
+        });
+        let parallel_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            serial, parallel,
+            "{name}: sweep results must not depend on execution order"
+        );
+
+        let speedup = serial_ms / parallel_ms;
+        table.row(vec![
+            name.clone(),
+            scenario.num_cameras().to_string(),
+            jobs.len().to_string(),
+            format!("{serial_ms:.0}"),
+            format!("{parallel_ms:.0}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(Row {
+            scenario: name.clone(),
+            cameras: scenario.num_cameras(),
+            jobs: jobs.len(),
+            pool_threads,
+            serial_ms,
+            parallel_ms,
+            speedup,
+        });
+    }
+
+    println!(
+        "Sweep wall-clock: serial vs parallel ({pool_threads} pool threads, {host_cpus} CPUs)\n"
+    );
+    println!("{table}");
+    if host_cpus == 1 {
+        println!("single-CPU host: parallel wall-clock cannot beat serial here;");
+        println!("rerun on a multi-core machine to see the pool-width speedup.");
+    }
+    let report = Report {
+        host_cpus,
+        pool_threads,
+        train_s: 30.0,
+        eval_s: 30.0,
+        rows,
+    };
+    let path = write_json("BENCH_parallel", &report);
+    println!("\nwrote {}", path.display());
+}

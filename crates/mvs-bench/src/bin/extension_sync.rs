@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p mvs-bench --bin extension_sync`.
 
-use mvs_bench::{experiment_config, write_json};
+use mvs_bench::{experiment_config, parallel_map, write_json};
 use mvs_metrics::TextTable;
 use mvs_sim::{run_pipeline, Algorithm, Scenario, ScenarioKind};
 use serde::Serialize;
@@ -25,22 +25,27 @@ fn main() {
     let scenario = Scenario::new(ScenarioKind::S2);
     let mut rows = Vec::new();
     let mut table = TextTable::new(vec!["lag (frames)", "BALB recall", "BALB-Ind recall"]);
-    for lag in [0usize, 2, 5, 10] {
-        let mut balb_cfg = experiment_config(Algorithm::Balb);
-        balb_cfg.camera_lag_frames = vec![0, lag];
-        let balb = run_pipeline(&scenario, &balb_cfg);
-        let mut ind_cfg = experiment_config(Algorithm::BalbInd);
-        ind_cfg.camera_lag_frames = vec![0, lag];
-        let ind = run_pipeline(&scenario, &ind_cfg);
+    let lags = [0usize, 2, 5, 10];
+    let jobs: Vec<_> = lags
+        .iter()
+        .flat_map(|&lag| [(lag, Algorithm::Balb), (lag, Algorithm::BalbInd)])
+        .collect();
+    let recalls = parallel_map(jobs, |&(lag, algorithm)| {
+        let mut config = experiment_config(algorithm);
+        config.camera_lag_frames = vec![0, lag];
+        run_pipeline(&scenario, &config).recall
+    });
+    for (&lag, pair) in lags.iter().zip(recalls.chunks(2)) {
+        let (balb_recall, balb_ind_recall) = (pair[0], pair[1]);
         table.row(vec![
             lag.to_string(),
-            format!("{:.3}", balb.recall),
-            format!("{:.3}", ind.recall),
+            format!("{balb_recall:.3}"),
+            format!("{balb_ind_recall:.3}"),
         ]);
         rows.push(Row {
             lag_frames: lag,
-            balb_recall: balb.recall,
-            balb_ind_recall: ind.recall,
+            balb_recall,
+            balb_ind_recall,
         });
     }
     println!("Extension — imperfect synchronization (S2, camera 1 lagged)\n");

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p mvs-bench --bin fig12_recall`.
 
-use mvs_bench::{experiment_config, write_json, REPLICATIONS, SCENARIOS, SEED};
+use mvs_bench::{experiment_config, parallel_map, write_json, REPLICATIONS, SCENARIOS, SEED};
 use mvs_metrics::{Running, TextTable};
 use mvs_sim::{run_pipeline, Algorithm, Scenario};
 use serde::Serialize;
@@ -26,15 +26,27 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut table = TextTable::new(vec!["scenario", "algorithm", "object recall"]);
+    // Independent (scenario × algorithm × seed) runs — sweep in parallel,
+    // aggregate serially in sweep order.
+    let jobs: Vec<_> = SCENARIOS
+        .iter()
+        .flat_map(|&kind| {
+            algorithms.iter().flat_map(move |&algorithm| {
+                (0..REPLICATIONS).map(move |rep| (kind, algorithm, rep))
+            })
+        })
+        .collect();
+    let recalls = parallel_map(jobs, |&(kind, algorithm, rep)| {
+        let mut config = experiment_config(algorithm);
+        config.seed = SEED + rep as u64;
+        run_pipeline(&Scenario::new(kind), &config).recall
+    });
+    let mut recalls = recalls.into_iter();
     for kind in SCENARIOS {
-        let scenario = Scenario::new(kind);
         for algorithm in algorithms {
             let mut recall = Running::new();
-            for rep in 0..REPLICATIONS {
-                let mut config = experiment_config(algorithm);
-                config.seed = SEED + rep as u64;
-                let result = run_pipeline(&scenario, &config);
-                recall.push(result.recall);
+            for _ in 0..REPLICATIONS {
+                recall.push(recalls.next().expect("one recall per job"));
             }
             table.row(vec![
                 kind.to_string(),

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release -p mvs-bench --bin fig13_latency`.
 
-use mvs_bench::{experiment_config, write_json, REPLICATIONS, SCENARIOS, SEED};
+use mvs_bench::{experiment_config, parallel_map, write_json, REPLICATIONS, SCENARIOS, SEED};
 use mvs_metrics::{sparkline_fit, Running, TextTable};
 use mvs_sim::{run_pipeline, Algorithm, Scenario};
 use serde::Serialize;
@@ -35,16 +35,29 @@ fn main() {
         "latency (ms)",
         "speedup vs Full",
     ]);
+    // Fan the whole (scenario × algorithm × seed) sweep across threads —
+    // every run is independent — then aggregate back in sweep order.
+    let jobs: Vec<_> = SCENARIOS
+        .iter()
+        .flat_map(|&kind| {
+            algorithms.iter().flat_map(move |&algorithm| {
+                (0..REPLICATIONS).map(move |rep| (kind, algorithm, rep))
+            })
+        })
+        .collect();
+    let runs = parallel_map(jobs, |&(kind, algorithm, rep)| {
+        let mut config = experiment_config(algorithm);
+        config.seed = SEED + rep as u64;
+        run_pipeline(&Scenario::new(kind), &config)
+    });
+    let mut runs = runs.into_iter();
     for kind in SCENARIOS {
-        let scenario = Scenario::new(kind);
         let mut full_latency = None;
         for algorithm in algorithms {
             let mut latency = Running::new();
             let mut recall = Running::new();
             for rep in 0..REPLICATIONS {
-                let mut config = experiment_config(algorithm);
-                config.seed = SEED + rep as u64;
-                let result = run_pipeline(&scenario, &config);
+                let result = runs.next().expect("one run per job");
                 latency.push(result.mean_latency_ms);
                 recall.push(result.recall);
                 if rep == 0 && algorithm == Algorithm::Balb {

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p mvs-bench --bin fig14_horizon`.
 
-use mvs_bench::{experiment_config, write_json, SCENARIOS};
+use mvs_bench::{experiment_config, parallel_map, write_json, SCENARIOS};
 use mvs_metrics::TextTable;
 use mvs_sim::{run_pipeline, Algorithm, Scenario};
 use serde::Serialize;
@@ -20,25 +20,29 @@ fn main() {
     let horizons = [2usize, 5, 10, 20, 30];
     let mut rows = Vec::new();
     let mut table = TextTable::new(vec!["scenario", "T", "recall", "latency (ms)"]);
-    for kind in SCENARIOS {
-        let scenario = Scenario::new(kind);
-        for horizon in horizons {
-            let mut config = experiment_config(Algorithm::Balb);
-            config.horizon = horizon;
-            let result = run_pipeline(&scenario, &config);
-            table.row(vec![
-                kind.to_string(),
-                horizon.to_string(),
-                format!("{:.3}", result.recall),
-                format!("{:.1}", result.mean_latency_ms),
-            ]);
-            rows.push(Row {
-                scenario: kind.to_string(),
-                horizon,
-                recall: result.recall,
-                mean_latency_ms: result.mean_latency_ms,
-            });
-        }
+    // The (scenario × horizon) grid is embarrassingly parallel.
+    let jobs: Vec<_> = SCENARIOS
+        .iter()
+        .flat_map(|&kind| horizons.iter().map(move |&horizon| (kind, horizon)))
+        .collect();
+    let results = parallel_map(jobs.clone(), |&(kind, horizon)| {
+        let mut config = experiment_config(Algorithm::Balb);
+        config.horizon = horizon;
+        run_pipeline(&Scenario::new(kind), &config)
+    });
+    for ((kind, horizon), result) in jobs.into_iter().zip(results) {
+        table.row(vec![
+            kind.to_string(),
+            horizon.to_string(),
+            format!("{:.3}", result.recall),
+            format!("{:.1}", result.mean_latency_ms),
+        ]);
+        rows.push(Row {
+            scenario: kind.to_string(),
+            horizon,
+            recall: result.recall,
+            mean_latency_ms: result.mean_latency_ms,
+        });
     }
     println!("Fig. 14 — scheduling-horizon sweep (BALB)\n");
     println!("{table}");

@@ -6,9 +6,11 @@
 //! classification/regression feature extraction used by Figs. 10/11.
 
 use mvs_assoc::CorrespondenceSample;
-use mvs_sim::{Algorithm, PipelineConfig, ScenarioKind};
+use mvs_sim::{resolve_threads, Algorithm, PipelineConfig, ScenarioKind};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Simulation seconds used to train association models in experiments.
 pub const TRAIN_S: f64 = 90.0;
@@ -51,6 +53,51 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
 
 /// Scenario display order used by every figure.
 pub const SCENARIOS: [ScenarioKind; 3] = [ScenarioKind::S1, ScenarioKind::S2, ScenarioKind::S3];
+
+/// Runs `f` over `items` on a scoped thread pool and returns the outputs in
+/// input order. Pipeline runs in a sweep are independent and each is
+/// deterministic in its config, so fanning a sweep out across threads
+/// changes wall-clock time only — every figure binary produces the same
+/// JSON at any pool width.
+///
+/// A shared atomic cursor hands out items one at a time, which keeps the
+/// pool busy even when run times differ wildly across configs (a Full run
+/// costs far more simulated work than a BALB run). The pool width follows
+/// [`resolve_threads`]`(0)`: `MVS_THREADS` if set, else the machine.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(0).min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item was processed")
+        })
+        .collect()
+}
 
 /// Classification dataset extracted from correspondence samples: features
 /// are the source bounding-box coordinates, the label is whether the object
@@ -101,6 +148,17 @@ mod tests {
         let (xs, ys) = regression_dataset(&[sample(true), sample(false)]);
         assert_eq!(xs.len(), 1);
         assert_eq!(ys[0], vec![5.0, 5.0, 15.0, 15.0]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = parallel_map(items.clone(), |&i| i * 3);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(
+            parallel_map(Vec::<usize>::new(), |&i| i),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -103,7 +103,6 @@ pub fn solve(
     struct Ctx<'a> {
         problem: &'a MvsProblem,
         order: &'a [usize],
-        base: &'a [f64],
         nodes: u64,
         budget: u64,
         best: f64,
@@ -111,7 +110,16 @@ pub fn solve(
         exhausted: bool,
     }
 
-    fn dfs(ctx: &mut Ctx<'_>, depth: usize, counts: &mut [SizeCounts], choice: &mut Vec<CameraId>) {
+    // `lat[i]` carries `base[i] + counts[i].latency_ms(profile_i)`
+    // incrementally via the O(1) batch-open/close deltas, so neither the
+    // per-node max nor the branch projections re-sum the size classes.
+    fn dfs(
+        ctx: &mut Ctx<'_>,
+        depth: usize,
+        counts: &mut [SizeCounts],
+        lat: &mut [f64],
+        choice: &mut Vec<CameraId>,
+    ) {
         if ctx.exhausted {
             return;
         }
@@ -120,9 +128,7 @@ pub fn solve(
             ctx.exhausted = true;
             return;
         }
-        let current_max = (0..counts.len())
-            .map(|i| ctx.base[i] + counts[i].latency_ms(ctx.problem.profile(CameraId(i))))
-            .fold(0.0, f64::max);
+        let current_max = lat.iter().fold(0.0, |a, &b| f64::max(a, b));
         if current_max >= ctx.best - 1e-9 {
             return; // prune: cannot improve
         }
@@ -139,17 +145,20 @@ pub fn solve(
             .map(|c| {
                 let s = object.size_on(c).expect("covered");
                 let mut tmp = counts[c.0];
-                tmp.add(s);
-                (c, ctx.base[c.0] + tmp.latency_ms(ctx.problem.profile(c)))
+                let delta = tmp.add_with_delta(s, ctx.problem.profile(c));
+                (c, lat[c.0] + delta)
             })
             .collect();
         branches.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
-        for (c, _) in branches {
+        for (c, projected) in branches {
             let s = object.size_on(c).expect("covered");
             counts[c.0].add(s);
+            let saved = lat[c.0];
+            lat[c.0] = projected;
             choice.push(c);
-            dfs(ctx, depth + 1, counts, choice);
+            dfs(ctx, depth + 1, counts, lat, choice);
             choice.pop();
+            lat[c.0] = saved;
             counts[c.0].remove(s);
         }
     }
@@ -157,7 +166,6 @@ pub fn solve(
     let mut ctx = Ctx {
         problem,
         order: &order,
-        base: &base,
         nodes: 0,
         budget: node_budget,
         best,
@@ -165,8 +173,9 @@ pub fn solve(
         exhausted: false,
     };
     let mut counts = vec![SizeCounts::new(); m];
+    let mut lat = base.clone();
     let mut choice = Vec::with_capacity(n);
-    dfs(&mut ctx, 0, &mut counts, &mut choice);
+    dfs(&mut ctx, 0, &mut counts, &mut lat, &mut choice);
     if ctx.exhausted {
         return Err(BudgetExceeded {
             budget: node_budget,

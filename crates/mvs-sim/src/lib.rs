@@ -41,6 +41,7 @@ mod response;
 mod runtime;
 mod scenario;
 mod trajectory;
+mod worker;
 mod world;
 
 pub use camera::CameraModel;
@@ -55,4 +56,5 @@ pub use runtime::{
 };
 pub use scenario::{Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
 pub use trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};
+pub use worker::resolve_threads;
 pub use world::{Lane, World, WorldObject};

@@ -67,9 +67,7 @@ pub fn replay_response(
 ) -> ResponseStats {
     assert!(frame_period_ms > 0.0, "frame period must be positive");
     assert!(
-        latency_series_ms
-            .iter()
-            .all(|v| v.is_finite() && *v >= 0.0),
+        latency_series_ms.iter().all(|v| v.is_finite() && *v >= 0.0),
         "latencies must be finite and non-negative"
     );
     let mut gpu_free_at = 0.0f64;
@@ -118,7 +116,6 @@ pub fn replay_response(
     if let Some((pframe, pcaptured)) = pending {
         start(pframe, pcaptured, &mut gpu_free_at);
     }
-    drop(start);
 
     let capture_span_s = latency_series_ms.len() as f64 * frame_period_ms / 1e3;
     ResponseStats {

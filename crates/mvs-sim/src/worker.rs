@@ -1,0 +1,199 @@
+//! Per-camera execution state and the scoped-thread camera pool.
+//!
+//! The pipeline owns one [`CameraWorker`] per camera. A worker bundles
+//! everything a camera touches every frame — detector, tracker, shadows,
+//! distributed-stage mask, device latency profile, lag ring buffer, and a
+//! *private* deterministic RNG stream — so per-frame camera stages can run
+//! on independent threads without sharing mutable state.
+//!
+//! Determinism contract: every random draw a camera makes comes from its
+//! own ChaCha stream (`set_stream(index + 1)` over the run seed; stream 0
+//! belongs to the world/coordinator). A camera's stream advances only with
+//! that camera's own work, and cross-camera effects are merged serially in
+//! camera-index order, so results are bitwise identical at any thread
+//! count — including one.
+
+use mvs_core::CameraMask;
+use mvs_geometry::{BBox, FrameDims};
+use mvs_vision::{FlowTracker, GroundTruthObject, LatencyProfile, SimulatedDetector, TrackId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A shadow of an object assigned to another camera: this camera's own
+/// flow-updated estimate of where it is, plus how many consecutive frames
+/// the cross-camera models have said it is gone from its assigned camera.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Shadow {
+    pub bbox: BBox,
+    pub gone_frames: u32,
+}
+
+/// Everything one camera mutates during a frame. Sending a `&mut
+/// CameraWorker` to a pool thread is safe because no field is shared.
+#[derive(Debug)]
+pub(crate) struct CameraWorker {
+    /// This camera's index in the scenario (also its merge position).
+    pub index: usize,
+    /// Camera frame dimensions.
+    pub frame: FrameDims,
+    /// Processing lag in frames (Sec. V imperfect synchronization).
+    pub lag: usize,
+    /// Device latency profile.
+    pub profile: LatencyProfile,
+    /// Detector quality model for this camera's frame.
+    pub detector: SimulatedDetector,
+    /// Flow tracker (per-horizon track state).
+    pub tracker: FlowTracker,
+    /// Private deterministic RNG stream (stream `index + 1` of the seed).
+    pub rng: ChaCha8Rng,
+    /// Previous frame's (lag-adjusted) view, input to flow estimation.
+    pub prev_view: Vec<GroundTruthObject>,
+    /// Ring buffer of recent true views; only kept when `lag > 0`.
+    pub history: VecDeque<Vec<GroundTruthObject>>,
+    /// Shadow boxes of objects visible here but assigned elsewhere, keyed
+    /// by global index (full BALB only). Ordered so takeover scans are
+    /// deterministic.
+    pub shadows: BTreeMap<usize, Shadow>,
+    /// Global index of each seeded track.
+    pub track_global: HashMap<TrackId, usize>,
+    /// Distributed-stage mask for the current horizon (full BALB only).
+    pub mask: Option<CameraMask>,
+    /// SP's fixed speed-priority mask (static for the whole run).
+    pub static_mask: Option<CameraMask>,
+}
+
+impl CameraWorker {
+    /// The camera's private RNG stream for a run seed: same key as the
+    /// world stream, distinct ChaCha stream number (stream 0 is the
+    /// world/coordinator).
+    pub fn stream_rng(seed: u64, index: usize) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(index as u64 + 1);
+        rng
+    }
+}
+
+/// Maps `f` over the workers, fanning out across up to `threads` scoped
+/// threads, and returns the outputs in camera-index order regardless of
+/// which thread ran which camera. With `threads <= 1` (or one camera) it
+/// runs inline — same code path, no spawns.
+pub(crate) fn par_map<T, F>(workers: &mut [CameraWorker], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut CameraWorker) -> T + Sync,
+{
+    let m = workers.len();
+    let threads = threads.clamp(1, m.max(1));
+    if threads == 1 {
+        return workers.iter_mut().map(&f).collect();
+    }
+    let chunk_len = m.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .chunks_mut(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<T>>()))
+            .collect();
+        // Joining in spawn order *is* the index-ordered merge: chunk k
+        // holds cameras [k * chunk_len, ...).
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("camera worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Resolves a requested thread count: `0` means auto — the `MVS_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("MVS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvs_vision::{DetectionModel, DeviceKind, TrackerConfig};
+    use rand::Rng;
+
+    fn dummy_worker(index: usize) -> CameraWorker {
+        let frame = FrameDims::REGULAR;
+        CameraWorker {
+            index,
+            frame,
+            lag: 0,
+            profile: LatencyProfile::for_device(DeviceKind::Nano),
+            detector: SimulatedDetector::new(DetectionModel::default(), frame),
+            tracker: FlowTracker::new(TrackerConfig::default(), frame),
+            rng: CameraWorker::stream_rng(7, index),
+            prev_view: Vec::new(),
+            history: VecDeque::new(),
+            shadows: BTreeMap::new(),
+            track_global: HashMap::new(),
+            mask: None,
+            static_mask: None,
+        }
+    }
+
+    #[test]
+    fn streams_are_distinct_per_camera() {
+        let a: Vec<u64> = (0..4)
+            .map(|i| CameraWorker::stream_rng(42, i).gen::<u64>())
+            .collect();
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert_ne!(a[i], a[j], "cameras {i} and {j} share a stream");
+            }
+        }
+        // And the stream is a function of the seed.
+        assert_ne!(
+            CameraWorker::stream_rng(42, 0).gen::<u64>(),
+            CameraWorker::stream_rng(43, 0).gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn par_map_output_is_index_ordered_at_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let mut workers: Vec<CameraWorker> = (0..7).map(dummy_worker).collect();
+            let out = par_map(&mut workers, threads, |w| w.index * 10);
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_draws_match_serial_draws() {
+        // Each worker draws from its own stream; the collected draws must
+        // not depend on the thread count.
+        let draw = |threads: usize| -> Vec<u64> {
+            let mut workers: Vec<CameraWorker> = (0..5).map(dummy_worker).collect();
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                out.extend(par_map(&mut workers, threads, |w| w.rng.gen::<u64>()));
+            }
+            out
+        };
+        let serial = draw(1);
+        assert_eq!(serial, draw(2));
+        assert_eq!(serial, draw(5));
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -2,9 +2,7 @@
 //! parameterization, and the response-delay replay.
 
 use mvs_geometry::Point2;
-use mvs_sim::{
-    replay_response, FollowingModel, Lane, QueuePolicy, Route, SpawnConfig, World,
-};
+use mvs_sim::{replay_response, FollowingModel, Lane, QueuePolicy, Route, SpawnConfig, World};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -62,6 +62,45 @@ impl SizeCounts {
         self.total() == 0
     }
 
+    /// Adds one crop of `size` and returns the latency increase (ms) this
+    /// causes on `profile` — non-zero exactly when the crop opens a new
+    /// batch. O(1), so search loops can maintain a running
+    /// [`latency_ms`](Self::latency_ms) instead of re-summing every size
+    /// class per candidate.
+    pub fn add_with_delta(&mut self, size: SizeClass, profile: &LatencyProfile) -> f64 {
+        let limit = profile.batch_limit(size);
+        let c = &mut self.counts[size.index()];
+        let opens_batch = c.is_multiple_of(limit);
+        *c += 1;
+        if opens_batch {
+            profile.batch_latency_ms(size)
+        } else {
+            0.0
+        }
+    }
+
+    /// Removes one crop of `size` and returns the latency decrease (ms) —
+    /// non-zero exactly when the removal closes a batch. Returns `0.0`
+    /// without mutating when no crop of `size` is present. The O(1)
+    /// counterpart of [`add_with_delta`](Self::add_with_delta).
+    pub fn remove_with_delta(&mut self, size: SizeClass, profile: &LatencyProfile) -> f64 {
+        let limit = profile.batch_limit(size);
+        let c = &mut self.counts[size.index()];
+        if *c == 0 {
+            return 0.0;
+        }
+        // `ceil(c/limit)` drops exactly when c ≡ 1 (mod limit); the
+        // `1 % limit` form also covers limit == 1, where every crop is its
+        // own batch.
+        let closes_batch = *c % limit == 1 % limit;
+        *c -= 1;
+        if closes_batch {
+            profile.batch_latency_ms(size)
+        } else {
+            0.0
+        }
+    }
+
     /// Per-frame DNN latency (ms) under greedy same-size batching on the
     /// given device profile — the camera latency of Definition 1 minus any
     /// full-frame term.
@@ -261,6 +300,43 @@ mod tests {
         assert_eq!(c.latency_ms(&p), one);
         c.add(SizeClass::S256); // fifth crop opens a second batch
         assert!(c.latency_ms(&p) > one);
+    }
+
+    #[test]
+    fn add_delta_is_batch_latency_exactly_on_batch_open() {
+        let p = LatencyProfile::for_device(DeviceKind::Tx2); // S256 limit 4
+        let mut c = SizeCounts::new();
+        assert_eq!(
+            c.add_with_delta(SizeClass::S256, &p),
+            p.batch_latency_ms(SizeClass::S256)
+        );
+        for _ in 0..3 {
+            assert_eq!(c.add_with_delta(SizeClass::S256, &p), 0.0); // fills batch 1
+        }
+        assert_eq!(
+            c.add_with_delta(SizeClass::S256, &p),
+            p.batch_latency_ms(SizeClass::S256) // opens batch 2
+        );
+    }
+
+    #[test]
+    fn remove_delta_mirrors_add_delta_even_at_limit_one() {
+        let p = LatencyProfile::for_device(DeviceKind::Nano); // S512 limit 1
+        let mut c = SizeCounts::new();
+        // Empty removal: no-op, zero delta.
+        assert_eq!(c.remove_with_delta(SizeClass::S512, &p), 0.0);
+        c.add(SizeClass::S512);
+        c.add(SizeClass::S512);
+        // Limit 1 → every crop is its own batch, every removal closes one.
+        assert_eq!(
+            c.remove_with_delta(SizeClass::S512, &p),
+            p.batch_latency_ms(SizeClass::S512)
+        );
+        assert_eq!(
+            c.remove_with_delta(SizeClass::S512, &p),
+            p.batch_latency_ms(SizeClass::S512)
+        );
+        assert!(c.is_empty());
     }
 
     #[test]

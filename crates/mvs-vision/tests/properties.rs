@@ -68,6 +68,42 @@ proptest! {
     }
 
     #[test]
+    fn delta_tracked_latency_matches_from_scratch(
+        ops in prop::collection::vec(
+            (
+                any::<bool>(), // true = add, false = remove
+                prop::sample::select(vec![
+                    SizeClass::S64,
+                    SizeClass::S128,
+                    SizeClass::S256,
+                    SizeClass::S512,
+                ]),
+            ),
+            0..80,
+        ),
+        device in arb_device(),
+    ) {
+        // Running a random add/remove sequence through the O(1) delta API
+        // must track the O(|sizes|) from-scratch sum exactly — this is what
+        // lets the exact search maintain per-camera latency incrementally.
+        let profile = LatencyProfile::for_device(device);
+        let mut counts = SizeCounts::new();
+        let mut tracked = 0.0f64;
+        for (add, size) in ops {
+            if add {
+                tracked += counts.add_with_delta(size, &profile);
+            } else {
+                tracked -= counts.remove_with_delta(size, &profile);
+            }
+            prop_assert!(
+                (tracked - counts.latency_ms(&profile)).abs() < 1e-9,
+                "tracked {tracked} != recomputed {}",
+                counts.latency_ms(&profile)
+            );
+        }
+    }
+
+    #[test]
     fn size_counts_total_matches_additions(sizes in arb_sizes()) {
         let counts = SizeCounts::from_sizes(sizes.clone());
         prop_assert_eq!(counts.total(), sizes.len());

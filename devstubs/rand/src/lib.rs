@@ -1,0 +1,376 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The sampling algorithms below are transcribed from rand 0.8.5 so that,
+//! paired with the `rand_chacha` stand-in, every draw made by this
+//! workspace is bit-identical to a build against the real crates:
+//!
+//! - `gen_range` over float ranges uses `UniformFloat::sample_single`
+//!   (one raw draw, exponent overlay, `value1_2 * scale + (low - scale)`);
+//! - `gen_range` over integer ranges uses `UniformInt::sample_single`
+//!   (leading-zeros zone + widening-multiply rejection);
+//! - `gen_bool` uses Bernoulli's `p_int` comparison against one `u64`;
+//! - `SliceRandom::shuffle` uses the `u32` downcast of `gen_index`.
+
+pub use rand_core::{CryptoRng, Error, RngCore, SeedableRng};
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod distributions {
+    //! The subset of `rand::distributions` the workspace relies on.
+
+    use super::RngCore;
+
+    /// Types that can produce values of `T` from an RNG.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: full-range integers, `[0, 1)` floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 significant bits, multiply-based, [0, 1).
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    /// Errors from [`Bernoulli::new`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum BernoulliError {
+        InvalidProbability,
+    }
+
+    const ALWAYS_TRUE: u64 = u64::MAX;
+    const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+    /// The Bernoulli distribution, bit-compatible with rand 0.8.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        p_int: u64,
+    }
+
+    impl Bernoulli {
+        pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+            if !(0.0..1.0).contains(&p) {
+                if p == 1.0 {
+                    return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+                }
+                return Err(BernoulliError::InvalidProbability);
+            }
+            Ok(Bernoulli {
+                p_int: (p * SCALE) as u64,
+            })
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            if self.p_int == ALWAYS_TRUE {
+                return true;
+            }
+            rng.next_u64() < self.p_int
+        }
+    }
+}
+
+use distributions::{Bernoulli, Distribution, Standard};
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty(&self) -> bool;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let scale = self.end - self.start;
+        // Value in [1, 2): 12 bits discarded, exponent forced to zero.
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3FF0_0000_0000_0000);
+        value1_2 * scale + (self.start - scale)
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let scale = self.end - self.start;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3F80_0000);
+        value1_2 * scale + (self.start - scale)
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+macro_rules! int_range_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $next:ident, $product:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $u_large;
+                // rand 0.8's conservative zone for >16-bit types.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let product = v as $product * range as $product;
+                    let hi = (product >> (<$u_large>::BITS)) as $u_large;
+                    let lo = product as $u_large;
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+            #[inline]
+            fn is_empty(&self) -> bool {
+                !(self.start < self.end)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                if range == 0 {
+                    // Inclusive full-range: every draw is accepted.
+                    return rng.$next() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let product = v as $product * range as $product;
+                    let hi = (product >> (<$u_large>::BITS)) as $u_large;
+                    let lo = product as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+            #[inline]
+            fn is_empty(&self) -> bool {
+                !(self.start() <= self.end())
+            }
+        }
+    };
+}
+
+int_range_impl!(u32, u32, u32, next_u32, u64);
+int_range_impl!(i32, u32, u32, next_u32, u64);
+int_range_impl!(u64, u64, u64, next_u64, u128);
+int_range_impl!(i64, u64, u64, next_u64, u128);
+int_range_impl!(usize, usize, u64, next_u64, u128);
+int_range_impl!(isize, usize, u64, next_u64, u128);
+
+/// User-facing RNG extension trait (the rand 0.8 `Rng` API subset used in
+/// this workspace).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let d =
+            Bernoulli::new(p).unwrap_or_else(|_| panic!("p={p} is outside range [0.0, 1.0]"));
+        d.sample(self)
+    }
+
+    #[inline]
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Standard generators.
+
+    use rand_core::{RngCore, SeedableRng};
+
+    /// The standard RNG, ChaCha12 as in rand 0.8 with `std_rng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(rand_chacha::ChaCha12Rng);
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            StdRng(rand_chacha::ChaCha12Rng::from_seed(seed))
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers (`SliceRandom` subset).
+
+    use super::Rng;
+
+    /// Index generation identical to rand 0.8 (note the `u32` downcast
+    /// for bounds that fit, which changes which words are drawn).
+    #[inline]
+    fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Slice extensions.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&Self::Item>
+        where
+            R: Rng + ?Sized;
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: Rng + ?Sized;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R>(&self, rng: &mut R) -> Option<&T>
+        where
+            R: Rng + ?Sized,
+        {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+
+        fn shuffle<R>(&mut self, rng: &mut R)
+        where
+            R: Rng + ?Sized,
+        {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+/// Re-export mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn float_range_within_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3.8..5.2);
+            assert!((3.8..5.2).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_within_bounds_and_covers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rngs::StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        seq::SliceRandom::shuffle(v.as_mut_slice(), &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for `rand_chacha` 0.3.
+//!
+//! Implements the actual ChaCha stream cipher (IETF variant as used by
+//! rand_chacha: 64-bit block counter in words 12–13, 64-bit stream in
+//! words 14–15) and emits output through `rand_core::block::BlockRng` in
+//! 4-block batches of 64 `u32` words — the same buffering the real crate
+//! uses — so the generated streams are bit-identical.
+
+use rand_core::block::{BlockRng, BlockRngCore};
+use rand_core::{CryptoRng, RngCore, SeedableRng};
+
+/// 64 output words (four 16-word ChaCha blocks), newtyped because arrays
+/// this large do not implement `Default`.
+#[derive(Clone, Debug)]
+pub struct Array64<T>(pub [T; 64]);
+
+impl<T: Default + Copy> Default for Array64<T> {
+    fn default() -> Self {
+        Array64([T::default(); 64])
+    }
+}
+
+impl<T> AsRef<[T]> for Array64<T> {
+    fn as_ref(&self) -> &[T] {
+        &self.0
+    }
+}
+
+impl<T> AsMut<[T]> for Array64<T> {
+    fn as_mut(&mut self) -> &mut [T] {
+        &mut self.0
+    }
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even.
+fn chacha_block(input: &[u32; 16], rounds: u32, out: &mut [u32]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+macro_rules! chacha_impl {
+    ($core:ident, $rng:ident, $rounds:expr) => {
+        /// ChaCha block core with the given round count.
+        #[derive(Clone, Debug)]
+        pub struct $core {
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+        }
+
+        impl BlockRngCore for $core {
+            type Item = u32;
+            type Results = Array64<u32>;
+
+            fn generate(&mut self, results: &mut Self::Results) {
+                let mut state = [0u32; 16];
+                state[0] = 0x6170_7865;
+                state[1] = 0x3320_646e;
+                state[2] = 0x7962_2d32;
+                state[3] = 0x6b20_6574;
+                state[4..12].copy_from_slice(&self.key);
+                state[14] = self.stream as u32;
+                state[15] = (self.stream >> 32) as u32;
+                for block in 0..4 {
+                    let counter = self.counter.wrapping_add(block as u64);
+                    state[12] = counter as u32;
+                    state[13] = (counter >> 32) as u32;
+                    chacha_block(
+                        &state,
+                        $rounds,
+                        &mut results.as_mut()[block * 16..(block + 1) * 16],
+                    );
+                }
+                self.counter = self.counter.wrapping_add(4);
+            }
+        }
+
+        impl SeedableRng for $core {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                $core {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                }
+            }
+        }
+
+        impl CryptoRng for $core {}
+
+        /// The buffered RNG over the core.
+        #[derive(Clone, Debug)]
+        pub struct $rng {
+            rng: BlockRng<$core>,
+        }
+
+        impl SeedableRng for $rng {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $rng {
+                    rng: BlockRng::new($core::from_seed(seed)),
+                }
+            }
+        }
+
+        impl RngCore for $rng {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.rng.next_u32()
+            }
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                self.rng.next_u64()
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                self.rng.fill_bytes(dest)
+            }
+        }
+
+        impl CryptoRng for $rng {}
+
+        impl $rng {
+            /// Selects an independent output stream (words 14–15).
+            pub fn set_stream(&mut self, stream: u64) {
+                self.rng.core.stream = stream;
+            }
+
+            /// The current stream id.
+            pub fn get_stream(&self) -> u64 {
+                self.rng.core.stream
+            }
+        }
+    };
+}
+
+chacha_impl!(ChaCha8Core, ChaCha8Rng, 8);
+chacha_impl!(ChaCha12Core, ChaCha12Rng, 12);
+chacha_impl!(ChaCha20Core, ChaCha20Rng, 20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc7539_block_one() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00 00 00 09 00 00 00 4a 00 00 00 00 (96-bit form).
+        // rand_chacha's 64-bit-stream layout differs from the RFC nonce
+        // split, so check the raw block function directly.
+        let mut input = [0u32; 16];
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646e;
+        input[2] = 0x7962_2d32;
+        input[3] = 0x6b20_6574;
+        for i in 0..8 {
+            let b = (4 * i) as u32;
+            input[4 + i] =
+                u32::from_le_bytes([b as u8, (b + 1) as u8, (b + 2) as u8, (b + 3) as u8]);
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let mut out = [0u32; 16];
+        chacha_block(&input, 20, &mut out);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn deterministic_and_stream_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = ChaCha8Rng::seed_from_u64(7);
+        c.set_stream(1);
+        let mut d = ChaCha8Rng::seed_from_u64(7);
+        assert_ne!(c.next_u64(), d.next_u64());
+    }
+}

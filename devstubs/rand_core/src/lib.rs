@@ -1,0 +1,166 @@
+//! Offline stand-in for `rand_core` 0.6.
+//!
+//! Reproduces the exact semantics of the pieces the workspace relies on:
+//! `seed_from_u64`'s PCG32 seed expansion and `BlockRng`'s buffered output
+//! with its distinctive `next_u64` wrap-around behaviour.
+
+use std::fmt;
+
+/// Minimal error type (never produced by the deterministic generators
+/// used in this workspace).
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A marker trait for cryptographically secure generators.
+pub trait CryptoRng {}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed expansion identical to rand_core 0.6: a PCG32 sequence copied
+    /// into the seed four bytes at a time.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+
+        Self::from_seed(seed)
+    }
+}
+
+pub mod block {
+    //! Buffered block generators, mirroring `rand_core::block`.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A generator that produces a block of output at a time.
+    pub trait BlockRngCore {
+        type Item;
+        type Results: AsRef<[Self::Item]> + AsMut<[Self::Item]> + Default;
+
+        fn generate(&mut self, results: &mut Self::Results);
+    }
+
+    /// Wraps a [`BlockRngCore`] into an [`RngCore`], reproducing the exact
+    /// index bookkeeping of rand_core 0.6 (including the split-word
+    /// `next_u64` at the end of a block).
+    #[derive(Clone, Debug)]
+    pub struct BlockRng<R: BlockRngCore> {
+        pub core: R,
+        results: R::Results,
+        index: usize,
+    }
+
+    impl<R: BlockRngCore> BlockRng<R> {
+        pub fn new(core: R) -> Self {
+            let results = R::Results::default();
+            let index = results.as_ref().len();
+            BlockRng {
+                core,
+                results,
+                index,
+            }
+        }
+
+        pub fn index(&self) -> usize {
+            self.index
+        }
+
+        pub fn generate_and_set(&mut self, index: usize) {
+            assert!(index < self.results.as_ref().len());
+            self.core.generate(&mut self.results);
+            self.index = index;
+        }
+    }
+
+    impl<R: BlockRngCore<Item = u32>> RngCore for BlockRng<R> {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= self.results.as_ref().len() {
+                self.generate_and_set(0);
+            }
+            let value = self.results.as_ref()[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let read_u64 = |results: &[u32], index: usize| {
+                u64::from(results[index + 1]) << 32 | u64::from(results[index])
+            };
+            let len = self.results.as_ref().len();
+            let index = self.index;
+            if index < len - 1 {
+                self.index += 2;
+                read_u64(self.results.as_ref(), index)
+            } else if index >= len {
+                self.generate_and_set(2);
+                read_u64(self.results.as_ref(), 0)
+            } else {
+                let x = u64::from(self.results.as_ref()[len - 1]);
+                self.generate_and_set(1);
+                let y = u64::from(self.results.as_ref()[0]);
+                (y << 32) | x
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut filled = 0;
+            while filled < dest.len() {
+                let word = self.next_u32().to_le_bytes();
+                let n = (dest.len() - filled).min(4);
+                dest[filled..filled + n].copy_from_slice(&word[..n]);
+                filled += n;
+            }
+        }
+    }
+
+    impl<R: BlockRngCore + SeedableRng> SeedableRng for BlockRng<R> {
+        type Seed = R::Seed;
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            BlockRng::new(R::from_seed(seed))
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs cargo with the devstubs/ stand-in crates patched in, for development
+# on machines with no network access and no cargo registry cache.
+#
+#   scripts/offline-dev.sh build --release
+#   scripts/offline-dev.sh test -q
+#   scripts/offline-dev.sh clippy --workspace -- -D warnings
+#
+# Normal builds (with network) use the real crates.io dependencies; see
+# devstubs/README.md for what the stubs guarantee.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# A separate target dir keeps stub artifacts from clobbering real ones.
+export CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-${repo_root}/target-offline}"
+
+# External subcommands (clippy, fmt) re-invoke cargo themselves and drop
+# CLI-level --config/--offline flags, so the patch table and offline switch
+# go through a generated CARGO_HOME config that child processes inherit.
+offline_home="${CARGO_TARGET_DIR}/cargo-home"
+mkdir -p "${offline_home}"
+{
+  echo '[net]'
+  echo 'offline = true'
+  echo '[patch.crates-io]'
+  for crate in rand rand_core rand_chacha serde serde_derive serde_json proptest criterion; do
+    echo "${crate} = { path = \"${repo_root}/devstubs/${crate}\" }"
+  done
+} > "${offline_home}/config.toml"
+export CARGO_HOME="${offline_home}"
+
+cd "${repo_root}"
+exec cargo "$@"

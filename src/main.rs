@@ -8,7 +8,7 @@
 //!
 //! Algorithms: `full`, `balb`, `balb-ind`, `balb-cen`, `sp`, `sp-oracle`.
 //! Options: `--horizon N`, `--train-s S`, `--eval-s S`, `--seed N`,
-//! `--redundancy N`, `--no-batching`.
+//! `--redundancy N`, `--no-batching`, `--threads N`.
 
 use multiview_scheduler::metrics::{sparkline_fit, TextTable};
 use multiview_scheduler::sim::{run_pipeline, Algorithm, PipelineConfig, Scenario};
@@ -58,6 +58,7 @@ mod cli {
         pub seed: u64,
         pub redundancy: usize,
         pub disable_batching: bool,
+        pub threads: usize,
     }
 
     impl Default for Options {
@@ -69,6 +70,7 @@ mod cli {
                 seed: 17,
                 redundancy: 1,
                 disable_batching: false,
+                threads: 0,
             }
         }
     }
@@ -171,6 +173,11 @@ mod cli {
                     }
                 }
                 "--no-batching" => options.disable_batching = true,
+                "--threads" => {
+                    options.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -218,7 +225,7 @@ mod cli {
         #[test]
         fn parses_options() {
             let c = parse(&args(
-                "run s3 balb --horizon 20 --seed 5 --redundancy 2 --no-batching",
+                "run s3 balb --horizon 20 --seed 5 --redundancy 2 --no-batching --threads 4",
             ))
             .unwrap();
             match c {
@@ -227,6 +234,7 @@ mod cli {
                     assert_eq!(options.seed, 5);
                     assert_eq!(options.redundancy, 2);
                     assert!(options.disable_batching);
+                    assert_eq!(options.threads, 4);
                 }
                 other => panic!("unexpected {other:?}"),
             }
@@ -288,6 +296,9 @@ OPTIONS:
     --seed N          RNG seed                       (default 17)
     --redundancy N    owners per object              (default 1)
     --no-batching     force GPU batch limits to one
+    --threads N       camera worker threads; 0 = auto (default 0):
+                      MVS_THREADS env, else available CPU parallelism.
+                      Results are identical at any thread count.
 ";
 
 fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
@@ -298,6 +309,7 @@ fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
         seed: options.seed,
         redundancy: options.redundancy,
         disable_batching: options.disable_batching,
+        threads: options.threads,
         ..PipelineConfig::paper_default(algorithm)
     }
 }

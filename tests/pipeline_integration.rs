@@ -221,13 +221,23 @@ fn degraded_detector_degrades_recall_gracefully() {
 #[test]
 fn noisy_flow_hurts_but_does_not_break_tracking() {
     // Failure injection: very noisy optical flow (10 px sigma) makes the
-    // predicted crops drift, costing recall, but the system keeps running.
+    // predicted crops drift and fires spurious motion clusters. The robust,
+    // seed-independent signature is wasted work — the probing path explodes
+    // to cover phantom motion — while recall stays high precisely *because*
+    // probing catches what the drifted crops miss. (Recall itself can move
+    // either way by a few points depending on the seed, so we assert the
+    // mechanism, not a marginal recall delta.)
     let scenario = Scenario::new(ScenarioKind::S2);
     let clean = run_pipeline(&scenario, &quick(Algorithm::Balb));
     let mut config = quick(Algorithm::Balb);
     config.flow_noise_px = 10.0;
     let noisy = run_pipeline(&scenario, &config);
-    assert!(noisy.recall <= clean.recall + 0.01);
+    assert!(
+        noisy.stats.probes > 2 * clean.stats.probes,
+        "flow noise should inflate probing: {} vs {}",
+        noisy.stats.probes,
+        clean.stats.probes
+    );
     assert!(noisy.recall > 0.5, "recall collapsed: {}", noisy.recall);
 }
 
@@ -260,4 +270,28 @@ fn camera_lag_degrades_recall() {
         synced.recall
     );
     assert!(lagged.recall > 0.7, "recall collapsed: {}", lagged.recall);
+}
+
+#[test]
+fn thread_count_is_invisible_in_results() {
+    // The parallel camera engine's contract: a run is a pure function of
+    // (scenario, config) — the thread count only changes wall-clock time.
+    // With measured overheads off the whole PipelineResult is comparable
+    // bitwise.
+    let scenario = Scenario::new(ScenarioKind::S1);
+    let cpus = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let run_at = |threads: usize| {
+        let mut config = PipelineConfig {
+            train_s: 30.0,
+            eval_s: 20.0,
+            ..PipelineConfig::paper_default(Algorithm::Balb)
+        };
+        config.measured_overheads = false;
+        config.threads = threads;
+        run_pipeline(&scenario, &config)
+    };
+    let serial = run_at(1);
+    for threads in [2, cpus] {
+        assert_eq!(serial, run_at(threads), "threads={threads}");
+    }
 }
