@@ -73,7 +73,7 @@ pub fn balb_central(problem: &MvsProblem) -> BalbSchedule {
     for &j in &order {
         let object = &problem.objects()[j];
         // Line 4: cameras with an incomplete batch of this object's size.
-        let mut best_open: Option<(CameraId, f64)> = None; // (camera, relative capacity)
+        let mut best_open: Option<(CameraId, usize, usize)> = None; // (camera, capacity, limit)
         for camera in object.coverage() {
             let size = object
                 .size_on(camera)
@@ -83,24 +83,30 @@ pub fn balb_central(problem: &MvsProblem) -> BalbSchedule {
             if cap > 0 {
                 // "Largest relative capacity": free slots as a fraction of
                 // the batch limit, so a half-empty small batch does not lose
-                // to a slightly-used huge one. Ties favor the less-loaded
+                // to a slightly-used huge one. The fractions `cap / limit`
+                // are compared exactly by integer cross-multiplication —
+                // float division could round two distinct ratios into an
+                // epsilon tie (or apart). Exact ties favor the less-loaded
                 // camera, then the lower id, for determinism.
-                let rel = cap as f64 / profile.batch_limit(size) as f64;
                 let better = match best_open {
                     None => true,
-                    Some((prev_cam, prev_rel)) => {
-                        rel > prev_rel + 1e-12
-                            || ((rel - prev_rel).abs() <= 1e-12
-                                && (latencies[camera.0], camera.0)
-                                    < (latencies[prev_cam.0], prev_cam.0))
+                    Some((prev_cam, prev_cap, prev_limit)) => {
+                        match cross_cmp(cap, profile.batch_limit(size), prev_cap, prev_limit) {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Less => false,
+                            std::cmp::Ordering::Equal => {
+                                (latencies[camera.0], camera.0)
+                                    < (latencies[prev_cam.0], prev_cam.0)
+                            }
+                        }
                     }
                 };
                 if better {
-                    best_open = Some((camera, rel));
+                    best_open = Some((camera, cap, profile.batch_limit(size)));
                 }
             }
         }
-        if let Some((camera, _)) = best_open {
+        if let Some((camera, _, _)) = best_open {
             // Lines 5-8: join the open batch; latency is unchanged because
             // the batch's execution time was charged when it was opened.
             let size = object.size_on(camera).expect("covered");
@@ -141,6 +147,52 @@ pub fn balb_central(problem: &MvsProblem) -> BalbSchedule {
         assignment,
         camera_latencies_ms: latencies,
         priority,
+    }
+}
+
+/// Compares the relative capacities `cap_a / limit_a` and `cap_b / limit_b`
+/// exactly via integer cross-multiplication (`cap_a·limit_b` vs
+/// `cap_b·limit_a`), widened to `u128` so the products cannot overflow.
+fn cross_cmp(cap_a: usize, limit_a: usize, cap_b: usize, limit_b: usize) -> std::cmp::Ordering {
+    let lhs = cap_a as u128 * limit_b as u128;
+    let rhs = cap_b as u128 * limit_a as u128;
+    lhs.cmp(&rhs)
+}
+
+#[cfg(test)]
+mod tie_break_tests {
+    use super::cross_cmp;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn equal_fractions_compare_equal() {
+        assert_eq!(cross_cmp(1, 3, 2, 6), Ordering::Equal);
+        assert_eq!(cross_cmp(2, 4, 1, 2), Ordering::Equal);
+        assert_eq!(cross_cmp(0, 5, 0, 9), Ordering::Equal);
+    }
+
+    #[test]
+    fn distinct_fractions_never_tie() {
+        assert_eq!(cross_cmp(1, 2, 1, 3), Ordering::Greater);
+        assert_eq!(cross_cmp(1, 4, 1, 3), Ordering::Less);
+    }
+
+    #[test]
+    fn sub_epsilon_differences_are_resolved_exactly() {
+        // 1/1_000_000_000_000 vs 1/1_000_000_000_001 differ by ~1e-24 in
+        // float — far inside the old 1e-12 epsilon tie band — yet the
+        // cross-multiplied comparison distinguishes them.
+        let a = (1usize, 1_000_000_000_000usize);
+        let b = (1usize, 1_000_000_000_001usize);
+        assert_eq!(cross_cmp(a.0, a.1, b.0, b.1), Ordering::Greater);
+        assert_eq!(cross_cmp(b.0, b.1, a.0, a.1), Ordering::Less);
+    }
+
+    #[test]
+    fn huge_operands_do_not_overflow() {
+        let big = usize::MAX;
+        assert_eq!(cross_cmp(big, big, big, big), Ordering::Equal);
+        assert_eq!(cross_cmp(big, big, big - 1, big), Ordering::Greater);
     }
 }
 

@@ -25,7 +25,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// let policy = DistributedPolicy::new(vec![CameraId(2), CameraId(0), CameraId(1)]);
 /// // Camera 2 has the highest priority (lowest central-stage latency).
-/// assert_eq!(policy.rank(CameraId(2)), 0);
+/// assert_eq!(policy.rank(CameraId(2)), Some(0));
+/// // A camera missing from the order (e.g. one that dropped out before
+/// // the central stage ran) has no rank.
+/// assert_eq!(policy.rank(CameraId(7)), None);
 /// // Takeover: the highest-priority camera among those still seeing the
 /// // object wins.
 /// assert_eq!(
@@ -68,29 +71,36 @@ impl DistributedPolicy {
         &self.priority
     }
 
-    /// Rank of a camera (0 = highest priority).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the camera is not in the order.
-    pub fn rank(&self, camera: CameraId) -> usize {
-        self.priority
-            .iter()
-            .position(|&c| c == camera)
-            .expect("camera must appear in the priority order")
+    /// Rank of a camera (0 = highest priority), or `None` when the camera
+    /// is not part of the order — e.g. it was dead or desynchronized when
+    /// the central stage produced this horizon's priority.
+    pub fn rank(&self, camera: CameraId) -> Option<usize> {
+        self.priority.iter().position(|&c| c == camera)
+    }
+
+    /// Whether the camera participates in this horizon's order.
+    pub fn contains(&self, camera: CameraId) -> bool {
+        self.priority.contains(&camera)
     }
 
     /// Selects the owner for an object given the cameras currently able to
-    /// see it: the highest-priority member of the coverage set. Returns
-    /// `None` for an empty coverage set (the object is lost to all views).
+    /// see it: the highest-priority member of the coverage set. Cameras
+    /// absent from the priority order (dead or desynchronized) are skipped;
+    /// ownership fails over along the order. Returns `None` when no ranked
+    /// camera sees the object (it is lost to every surviving view).
     pub fn select_owner<I: IntoIterator<Item = CameraId>>(&self, coverage: I) -> Option<CameraId> {
-        coverage.into_iter().min_by_key(|&c| self.rank(c))
+        coverage
+            .into_iter()
+            .filter_map(|c| self.rank(c).map(|r| (r, c)))
+            .min()
+            .map(|(_, c)| c)
     }
 
     /// Convenience for the per-camera decision: should `myself` start
     /// tracking an object with this coverage set? True iff `myself` is the
     /// selected owner. Every camera evaluating this on the same coverage
-    /// set reaches a consistent answer.
+    /// set reaches a consistent answer; a camera outside the priority order
+    /// never elects itself.
     pub fn should_track<I: IntoIterator<Item = CameraId>>(
         &self,
         myself: CameraId,
@@ -111,9 +121,38 @@ mod tests {
     #[test]
     fn ranks_follow_order() {
         let p = policy();
-        assert_eq!(p.rank(CameraId(1)), 0);
-        assert_eq!(p.rank(CameraId(2)), 1);
-        assert_eq!(p.rank(CameraId(0)), 2);
+        assert_eq!(p.rank(CameraId(1)), Some(0));
+        assert_eq!(p.rank(CameraId(2)), Some(1));
+        assert_eq!(p.rank(CameraId(0)), Some(2));
+    }
+
+    #[test]
+    fn unknown_camera_has_no_rank() {
+        let p = policy();
+        assert_eq!(p.rank(CameraId(3)), None);
+        assert!(!p.contains(CameraId(3)));
+        assert!(p.contains(CameraId(0)));
+    }
+
+    #[test]
+    fn select_owner_skips_unknown_cameras() {
+        // Camera 5 is not in the order (it dropped before the central
+        // stage); ownership fails over to the best ranked survivor.
+        let p = policy();
+        assert_eq!(
+            p.select_owner([CameraId(5), CameraId(0), CameraId(2)]),
+            Some(CameraId(2))
+        );
+        // Coverage made up entirely of unknown cameras selects nobody.
+        assert_eq!(p.select_owner([CameraId(5), CameraId(9)]), None);
+    }
+
+    #[test]
+    fn unknown_camera_never_tracks() {
+        let p = policy();
+        let coverage = [CameraId(5), CameraId(0)];
+        assert!(!p.should_track(CameraId(5), coverage));
+        assert!(p.should_track(CameraId(0), coverage));
     }
 
     #[test]

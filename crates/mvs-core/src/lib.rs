@@ -57,4 +57,4 @@ pub use balb::{balb_central, BalbSchedule};
 pub use distributed::DistributedPolicy;
 pub use ids::{CameraId, ObjectId};
 pub use mask::CameraMask;
-pub use problem::{CameraInfo, MvsProblem, ObjectInfo, ProblemConfig, ProblemError};
+pub use problem::{CameraInfo, CameraSubset, MvsProblem, ObjectInfo, ProblemConfig, ProblemError};

@@ -196,6 +196,121 @@ impl MvsProblem {
     }
 }
 
+/// An MVS instance restricted to a surviving subset of its cameras, plus
+/// the bookkeeping to translate the sub-problem's dense ids back to the
+/// original instance. Built by [`MvsProblem::restrict_to_cameras`] when the
+/// scheduler must re-solve on whatever part of the fleet is still
+/// reachable (camera dropouts, lost key-frame uploads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraSubset {
+    /// The restricted instance with dense re-indexed camera/object ids.
+    pub problem: MvsProblem,
+    /// Original id of each surviving camera, indexed by its new id.
+    pub cameras: Vec<CameraId>,
+    /// Original id of each surviving object, indexed by its new id.
+    pub objects: Vec<ObjectId>,
+    /// Original ids of objects whose entire coverage set died with the
+    /// removed cameras — they cannot be scheduled and are counted as
+    /// coverage loss by the caller instead of crashing the solve.
+    pub lost_objects: Vec<ObjectId>,
+}
+
+impl CameraSubset {
+    /// Original id of a camera of the restricted instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the sub-problem.
+    pub fn original_camera(&self, camera: CameraId) -> CameraId {
+        self.cameras[camera.0]
+    }
+
+    /// Original id of an object of the restricted instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the sub-problem.
+    pub fn original_object(&self, object: ObjectId) -> ObjectId {
+        self.objects[object.0]
+    }
+
+    /// Translates a priority order over sub-problem camera ids (e.g. from
+    /// [`BalbSchedule::priority`](crate::BalbSchedule)) back to original
+    /// camera ids. Removed cameras simply do not appear — exactly the
+    /// degraded-mode order the distributed stage fails over along.
+    pub fn lift_priority(&self, priority: &[CameraId]) -> Vec<CameraId> {
+        priority.iter().map(|&c| self.original_camera(c)).collect()
+    }
+}
+
+impl MvsProblem {
+    /// Restricts the instance to the given surviving cameras, re-indexing
+    /// cameras and objects densely. Objects left with an empty coverage
+    /// set are dropped and reported in
+    /// [`CameraSubset::lost_objects`]. Duplicate and out-of-range entries
+    /// in `alive` are ignored; the surviving cameras keep their relative
+    /// id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::NoCameras`] when no valid camera survives.
+    pub fn restrict_to_cameras(&self, alive: &[CameraId]) -> Result<CameraSubset, ProblemError> {
+        let mut keep = vec![false; self.cameras.len()];
+        for &c in alive {
+            if c.0 < keep.len() {
+                keep[c.0] = true;
+            }
+        }
+        let surviving: Vec<CameraId> = (0..self.cameras.len())
+            .filter(|&i| keep[i])
+            .map(CameraId)
+            .collect();
+        if surviving.is_empty() {
+            return Err(ProblemError::NoCameras);
+        }
+        // old camera id -> new dense id
+        let mut new_id = vec![usize::MAX; self.cameras.len()];
+        for (new, old) in surviving.iter().enumerate() {
+            new_id[old.0] = new;
+        }
+        let cameras: Vec<CameraInfo> = surviving
+            .iter()
+            .enumerate()
+            .map(|(new, old)| CameraInfo {
+                id: CameraId(new),
+                profile: self.cameras[old.0].profile.clone(),
+            })
+            .collect();
+        let mut objects = Vec::new();
+        let mut object_map = Vec::new();
+        let mut lost_objects = Vec::new();
+        for o in &self.objects {
+            let sizes: BTreeMap<CameraId, SizeClass> = o
+                .sizes
+                .iter()
+                .filter(|(c, _)| keep[c.0])
+                .map(|(c, &s)| (CameraId(new_id[c.0]), s))
+                .collect();
+            if sizes.is_empty() {
+                lost_objects.push(o.id);
+            } else {
+                objects.push(ObjectInfo {
+                    id: ObjectId(object_map.len()),
+                    sizes,
+                });
+                object_map.push(o.id);
+            }
+        }
+        let problem = MvsProblem::new(cameras, objects)?;
+        Ok(CameraSubset {
+            problem,
+            cameras: surviving,
+            objects: object_map,
+            lost_objects,
+        })
+    }
+}
+
 fn random_size<R: Rng + ?Sized>(rng: &mut R, config: &ProblemConfig) -> SizeClass {
     // Geometric-ish distribution over size classes: small crops dominate,
     // mirroring the long-tail object-size distribution of traffic scenes.
@@ -312,6 +427,57 @@ mod tests {
             &ProblemConfig::default(),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restriction_reindexes_and_reports_losses() {
+        let cameras = vec![camera(0), camera(1), camera(2)];
+        let objects = vec![
+            object(0, &[(0, SizeClass::S64)]),
+            object(1, &[(1, SizeClass::S128), (2, SizeClass::S64)]),
+            object(2, &[(2, SizeClass::S256)]),
+        ];
+        let p = MvsProblem::new(cameras, objects).unwrap();
+        // Camera 2 dies; duplicates and out-of-range survivors are ignored.
+        let s = p
+            .restrict_to_cameras(&[CameraId(1), CameraId(0), CameraId(0), CameraId(9)])
+            .unwrap();
+        assert_eq!(s.cameras, vec![CameraId(0), CameraId(1)]);
+        assert_eq!(s.problem.num_cameras(), 2);
+        // Object 2 was visible only from the dead camera.
+        assert_eq!(s.lost_objects, vec![ObjectId(2)]);
+        assert_eq!(s.objects, vec![ObjectId(0), ObjectId(1)]);
+        // Object 1's coverage shrank to the re-indexed camera 1.
+        let o1 = &s.problem.objects()[1];
+        assert_eq!(o1.coverage().collect::<Vec<_>>(), vec![CameraId(1)]);
+        assert_eq!(o1.size_on(CameraId(1)), Some(SizeClass::S128));
+        // Back-translation round-trips.
+        assert_eq!(s.original_camera(CameraId(1)), CameraId(1));
+        assert_eq!(s.original_object(ObjectId(1)), ObjectId(1));
+        assert_eq!(
+            s.lift_priority(&[CameraId(1), CameraId(0)]),
+            vec![CameraId(1), CameraId(0)]
+        );
+    }
+
+    #[test]
+    fn restriction_to_nothing_is_an_error() {
+        let p = MvsProblem::new(vec![camera(0)], vec![object(0, &[(0, SizeClass::S64)])]).unwrap();
+        assert_eq!(p.restrict_to_cameras(&[]), Err(ProblemError::NoCameras));
+        assert_eq!(
+            p.restrict_to_cameras(&[CameraId(5)]),
+            Err(ProblemError::NoCameras)
+        );
+    }
+
+    #[test]
+    fn restriction_to_all_cameras_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let p = MvsProblem::random(&mut rng, 4, 30, &ProblemConfig::default());
+        let all: Vec<CameraId> = (0..4).map(CameraId).collect();
+        let s = p.restrict_to_cameras(&all).unwrap();
+        assert_eq!(s.problem, p);
+        assert!(s.lost_objects.is_empty());
     }
 
     #[test]

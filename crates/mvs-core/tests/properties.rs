@@ -133,4 +133,84 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn balb_on_any_camera_subset_stays_feasible(
+        p in arb_problem(),
+        subset_bits in 1u32..64,
+    ) {
+        // Degraded-mode invariant: after dropping an arbitrary camera
+        // subset (the fault-injection scenario), the restricted instance
+        // is valid, BALB still produces a feasible single-owner schedule
+        // on it, and the id maps translate consistently back to the
+        // original instance.
+        let m = p.num_cameras();
+        let alive: Vec<CameraId> = (0..m)
+            .filter(|i| subset_bits >> i & 1 == 1)
+            .map(CameraId)
+            .collect();
+        prop_assume!(!alive.is_empty());
+        let subset = p.restrict_to_cameras(&alive).expect("non-empty survivors");
+        // Survivors + losses partition the original object set.
+        prop_assert_eq!(
+            subset.objects.len() + subset.lost_objects.len(),
+            p.num_objects()
+        );
+        for &lost in &subset.lost_objects {
+            prop_assert!(
+                p.objects()[lost.0].coverage().all(|c| !alive.contains(&c)),
+                "object {} was reported lost but a survivor covers it",
+                lost
+            );
+        }
+        let s = balb_central(&subset.problem);
+        prop_assert!(s.assignment.is_feasible(&subset.problem));
+        for o in subset.problem.objects() {
+            prop_assert_eq!(s.assignment.owners_of(o.id).len(), 1);
+            // Every owner exists in the original problem and covers the
+            // original object there.
+            let owner = subset.original_camera(s.assignment.owners_of(o.id)[0]);
+            let original = subset.original_object(o.id);
+            prop_assert!(p.objects()[original.0].covered_by(owner));
+            prop_assert!(alive.contains(&owner));
+        }
+        // The lifted priority is a permutation of the survivors.
+        let mut lifted = subset.lift_priority(&s.priority);
+        lifted.sort_unstable();
+        let mut expect = alive.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(lifted, expect);
+    }
+
+    #[test]
+    fn subset_balb_never_beats_the_subset_exact_optimum(
+        p in arb_problem(),
+        subset_bits in 1u32..64,
+    ) {
+        // On small degraded instances the exact solver anchors BALB's
+        // quality: the sub-problem's optimum is a lower bound, and removing
+        // cameras can only raise it (fewer scheduling choices).
+        prop_assume!(p.num_objects() <= 10);
+        let m = p.num_cameras();
+        let alive: Vec<CameraId> = (0..m)
+            .filter(|i| subset_bits >> i & 1 == 1)
+            .map(CameraId)
+            .collect();
+        prop_assume!(!alive.is_empty());
+        let subset = p.restrict_to_cameras(&alive).expect("non-empty survivors");
+        let balb = balb_central(&subset.problem);
+        let opt = exact::solve(&subset.problem, true, 20_000_000).expect("within budget");
+        prop_assert!(opt.assignment.is_feasible(&subset.problem));
+        prop_assert!(
+            opt.system_latency_ms <= balb.system_latency_ms() + 1e-9,
+            "subset optimum {} beat by BALB {}",
+            opt.system_latency_ms,
+            balb.system_latency_ms()
+        );
+        if subset.objects.len() == p.num_objects() && subset.cameras.len() == m {
+            // Identity restriction: the optimum must match the full one.
+            let full_opt = exact::solve(&p, true, 20_000_000).expect("within budget");
+            prop_assert!((full_opt.system_latency_ms - opt.system_latency_ms).abs() < 1e-9);
+        }
+    }
 }

@@ -1,0 +1,140 @@
+//! Graceful-degradation bookkeeping for fault-injection runs.
+//!
+//! When cameras drop out or key-frame sync messages are lost, the pipeline
+//! keeps running in a degraded mode instead of panicking. These counters
+//! quantify *how* degraded a run was, so the fault benchmarks can plot
+//! recall and latency against the actual fault intensity experienced (not
+//! just the configured rates).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing every degradation event observed during one
+/// pipeline run.
+///
+/// All fields are cumulative over the run. A fault-free run reports all
+/// zeros. Counters merge additively across runs via
+/// [`DegradationCounters::merge`], which the multi-seed benchmark harness
+/// uses to aggregate replications.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_metrics::DegradationCounters;
+///
+/// let mut total = DegradationCounters::default();
+/// let mut run = DegradationCounters::default();
+/// run.dropouts = 2;
+/// run.lost_uploads = 5;
+/// total.merge(&run);
+/// total.merge(&run);
+/// assert_eq!(total.dropouts, 4);
+/// assert_eq!(total.lost_uploads, 10);
+/// assert!(total.any());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationCounters {
+    /// Camera dropout events (a live camera went dark at a key frame).
+    pub dropouts: u64,
+    /// Camera rejoin events (a dark camera came back at a key frame).
+    pub rejoins: u64,
+    /// Frames during which at least one camera was dead.
+    pub degraded_frames: u64,
+    /// Key-frame upload messages lost in transit (counted per attempt,
+    /// so one upload that needed two retries adds two here).
+    pub lost_uploads: u64,
+    /// Key-frame assignment (downlink) messages lost in transit.
+    pub lost_downlinks: u64,
+    /// Successful retransmissions after an initial loss.
+    pub retransmits: u64,
+    /// Camera-horizons spent desynchronized: the camera was alive but
+    /// missed the key-frame round trip and ran on a stale mask.
+    pub desynced_horizons: u64,
+    /// Ground-truth objects visible only to dead cameras — scheduling
+    /// coverage irrecoverably lost to the fault, counted once per frame
+    /// per object while the outage lasts.
+    pub coverage_lost_objects: u64,
+    /// Non-finite metric samples rejected instead of panicking.
+    pub rejected_samples: u64,
+}
+
+impl DegradationCounters {
+    /// Adds another run's counters into this one, field by field.
+    pub fn merge(&mut self, other: &DegradationCounters) {
+        self.dropouts += other.dropouts;
+        self.rejoins += other.rejoins;
+        self.degraded_frames += other.degraded_frames;
+        self.lost_uploads += other.lost_uploads;
+        self.lost_downlinks += other.lost_downlinks;
+        self.retransmits += other.retransmits;
+        self.desynced_horizons += other.desynced_horizons;
+        self.coverage_lost_objects += other.coverage_lost_objects;
+        self.rejected_samples += other.rejected_samples;
+    }
+
+    /// Whether any degradation at all was recorded.
+    pub fn any(&self) -> bool {
+        *self != DegradationCounters::default()
+    }
+
+    /// Total messages lost on either link.
+    pub fn lost_messages(&self) -> u64 {
+        self.lost_uploads + self.lost_downlinks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reports_no_degradation() {
+        let c = DegradationCounters::default();
+        assert!(!c.any());
+        assert_eq!(c.lost_messages(), 0);
+    }
+
+    #[test]
+    fn merge_is_additive_over_every_field() {
+        let a = DegradationCounters {
+            dropouts: 1,
+            rejoins: 2,
+            degraded_frames: 3,
+            lost_uploads: 4,
+            lost_downlinks: 5,
+            retransmits: 6,
+            desynced_horizons: 7,
+            coverage_lost_objects: 8,
+            rejected_samples: 9,
+        };
+        let mut sum = a;
+        sum.merge(&a);
+        assert_eq!(
+            sum,
+            DegradationCounters {
+                dropouts: 2,
+                rejoins: 4,
+                degraded_frames: 6,
+                lost_uploads: 8,
+                lost_downlinks: 10,
+                retransmits: 12,
+                desynced_horizons: 14,
+                coverage_lost_objects: 16,
+                rejected_samples: 18,
+            }
+        );
+        assert!(sum.any());
+        assert_eq!(sum.lost_messages(), 18);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = DegradationCounters {
+            dropouts: 3,
+            lost_uploads: 1,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: DegradationCounters = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

@@ -13,10 +13,13 @@
 //! * [`Summary`], [`TextTable`], and [`sparkline`] — descriptive
 //!   statistics, plain-text tables, and terminal sparklines for the
 //!   experiment binaries.
+//! * [`DegradationCounters`] — graceful-degradation bookkeeping for
+//!   fault-injection runs (dropouts, lost sync messages, coverage loss).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degradation;
 mod latency;
 mod overhead;
 mod recall;
@@ -25,6 +28,7 @@ mod running;
 mod sparkline;
 mod summary;
 
+pub use degradation::DegradationCounters;
 pub use latency::LatencySeries;
 pub use overhead::{OverheadBreakdown, OverheadSample};
 pub use recall::RecallAccumulator;

@@ -22,6 +22,7 @@ pub struct Running {
     count: u64,
     mean: f64,
     m2: f64,
+    rejected: u64,
 }
 
 impl Running {
@@ -34,13 +35,38 @@ impl Running {
     ///
     /// # Panics
     ///
-    /// Panics if the sample is not finite.
+    /// Panics if the sample is not finite. Degraded-run metric paths that
+    /// may legitimately produce NaN/Inf (fault-injection experiments)
+    /// should use [`Running::try_push`] instead, which tags the sample
+    /// rather than aborting the whole experiment.
     pub fn push(&mut self, value: f64) {
         assert!(value.is_finite(), "running-stat samples must be finite");
+        self.accept(value);
+    }
+
+    /// Adds one sample if it is finite; otherwise counts it as rejected
+    /// (see [`Running::rejected`]) and leaves the statistics untouched.
+    /// Returns whether the sample was accepted.
+    pub fn try_push(&mut self, value: f64) -> bool {
+        if value.is_finite() {
+            self.accept(value);
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    fn accept(&mut self, value: f64) {
         self.count += 1;
         let delta = value - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of non-finite samples rejected by [`Running::try_push`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Number of samples.
@@ -145,5 +171,18 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan() {
         Running::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn try_push_tags_non_finite_instead_of_panicking() {
+        let mut r = Running::new();
+        assert!(r.try_push(1.0));
+        assert!(!r.try_push(f64::NAN));
+        assert!(!r.try_push(f64::INFINITY));
+        assert!(!r.try_push(f64::NEG_INFINITY));
+        assert!(r.try_push(3.0));
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.rejected(), 3);
+        assert_eq!(r.mean(), 2.0);
     }
 }

@@ -17,6 +17,9 @@ pub struct Summary {
     pub p50: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile — the tail metric reported by the fault-injection
+    /// benchmarks.
+    pub p99: f64,
     /// Population standard deviation.
     pub std_dev: f64,
 }
@@ -40,6 +43,7 @@ impl Summary {
                 max: 0.0,
                 p50: 0.0,
                 p95: 0.0,
+                p99: 0.0,
                 std_dev: 0.0,
             };
         }
@@ -55,6 +59,7 @@ impl Summary {
             max: sorted[n - 1],
             p50: percentile(&sorted, 0.50),
             p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
             std_dev: var.sqrt(),
         }
     }
@@ -98,6 +103,7 @@ mod tests {
         assert_eq!(s.max, 100.0);
         assert_eq!(s.p50, 50.0);
         assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
     }
 
     #[test]

@@ -25,6 +25,7 @@ proptest! {
         let s = Summary::of(&samples);
         prop_assert!(s.min <= s.p50 && s.p50 <= s.max);
         prop_assert!(s.p50 <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.p95 <= s.p99 && s.p99 <= s.max);
         prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
         prop_assert!(s.std_dev >= 0.0);
     }

@@ -1,0 +1,276 @@
+//! Fault injection: camera dropouts and key-frame message loss.
+//!
+//! The paper's testbed assumes five healthy boards on a wired LAN. Real
+//! deployments lose cameras (power, thermal throttling, reboots) and lose
+//! key-frame sync messages (congestion, interference). This module models
+//! both so the pipeline's graceful-degradation behaviour can be exercised
+//! and measured:
+//!
+//! * [`FaultModel`] — the seeded fault configuration: per-horizon camera
+//!   dropout/rejoin probabilities and a per-attempt key-frame message loss
+//!   rate with timeout-plus-retry recovery.
+//! * [`FaultState`] — the runtime schedule. All fault randomness lives on
+//!   a dedicated ChaCha stream of the run seed, drawn on the coordinator
+//!   thread at key frames in camera-index order, so fault schedules are
+//!   bitwise deterministic at any thread count and never perturb the world
+//!   or per-camera streams.
+//!
+//! An inactive model ([`FaultModel::none`], the default) draws nothing and
+//! leaves every camera permanently alive, so fault-free runs are bitwise
+//! identical to runs of a build without this module.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Seeded fault configuration for a pipeline run.
+///
+/// Dropout and rejoin are evaluated once per camera per key frame, so the
+/// alive set is constant within a scheduling horizon (a camera cannot die
+/// mid-horizon — the failure becomes visible at the next sync point, which
+/// is when the scheduler would notice a missing upload anyway).
+///
+/// Message loss applies independently to every key-frame uplink and
+/// downlink transmission attempt. A lost attempt costs
+/// [`FaultModel::retry_timeout_ms`] before the retransmission fires; after
+/// [`FaultModel::max_retries`] retransmissions the scheduler gives up on
+/// the camera for this horizon and it runs desynchronized on stale state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability an alive camera drops out, per camera per key frame.
+    pub dropout_per_horizon: f64,
+    /// Probability a dead camera comes back, per camera per key frame.
+    pub rejoin_per_horizon: f64,
+    /// Probability one key-frame message transmission attempt is lost
+    /// (applied per attempt, to uplink and downlink independently).
+    pub keyframe_loss: f64,
+    /// Retransmissions attempted after an initial loss before the
+    /// scheduler declares the camera desynchronized for the horizon.
+    pub max_retries: u32,
+    /// Timeout before a lost transmission is retried, ms. Also the unit
+    /// the scheduler waits for a camera that never answers.
+    pub retry_timeout_ms: f64,
+    /// Dropouts never reduce the alive set below this floor (the paper's
+    /// system is meaningless with zero cameras; keeping one alive makes
+    /// recall degrade monotonically instead of collapsing to zero).
+    pub min_alive: usize,
+}
+
+impl FaultModel {
+    /// The fault-free model: nothing ever drops, nothing is ever lost.
+    pub fn none() -> Self {
+        FaultModel {
+            dropout_per_horizon: 0.0,
+            rejoin_per_horizon: 0.0,
+            keyframe_loss: 0.0,
+            max_retries: 1,
+            retry_timeout_ms: 30.0,
+            min_alive: 1,
+        }
+    }
+
+    /// Whether this model can inject any fault at all.
+    pub fn is_active(&self) -> bool {
+        self.dropout_per_horizon > 0.0 || self.keyframe_loss > 0.0
+    }
+
+    /// Transmission attempts allowed per message (initial + retries).
+    pub fn attempts_budget(&self) -> u32 {
+        1 + self.max_retries
+    }
+
+    /// How long the scheduler waits for a camera that never delivers: the
+    /// full retry schedule, timeout after timeout.
+    pub fn deadline_ms(&self) -> f64 {
+        self.attempts_budget() as f64 * self.retry_timeout_ms
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+/// Camera-membership changes produced by one key-frame fault step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct KeyFrameEvents {
+    /// Cameras that dropped out at this key frame (index order).
+    pub dropped: Vec<usize>,
+    /// Cameras that came back at this key frame (index order).
+    pub rejoined: Vec<usize>,
+}
+
+/// The runtime fault schedule: the current alive set plus the dedicated
+/// RNG stream all fault draws come from.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    model: FaultModel,
+    /// Fault stream: same key as the run, stream `u64::MAX` — disjoint
+    /// from the world stream (0) and every camera stream (`i + 1`).
+    rng: ChaCha8Rng,
+    alive: Vec<bool>,
+}
+
+impl FaultState {
+    pub fn new(model: FaultModel, seed: u64, cameras: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(u64::MAX);
+        FaultState {
+            model,
+            rng,
+            alive: vec![true; cameras],
+        }
+    }
+
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    pub fn all_alive(&self) -> bool {
+        self.alive.iter().all(|&a| a)
+    }
+
+    /// Draws this key frame's dropout/rejoin decisions, one draw per
+    /// camera in index order (the draw happens even when `min_alive`
+    /// vetoes the dropout, so the stream position is a function of the
+    /// key-frame count alone).
+    pub fn step_key_frame(&mut self) -> KeyFrameEvents {
+        let mut events = KeyFrameEvents::default();
+        if self.model.dropout_per_horizon <= 0.0 {
+            return events;
+        }
+        let mut alive_count = self.alive.iter().filter(|&&a| a).count();
+        for i in 0..self.alive.len() {
+            let draw: f64 = self.rng.gen();
+            if self.alive[i] {
+                if draw < self.model.dropout_per_horizon && alive_count > self.model.min_alive {
+                    self.alive[i] = false;
+                    alive_count -= 1;
+                    events.dropped.push(i);
+                }
+            } else if draw < self.model.rejoin_per_horizon {
+                self.alive[i] = true;
+                alive_count += 1;
+                events.rejoined.push(i);
+            }
+        }
+        events
+    }
+
+    /// Simulates one message's timeout-plus-retry delivery: returns
+    /// `Some(k)` if the message got through after `k` lost attempts, or
+    /// `None` if the whole retry budget was lost. Draws nothing when loss
+    /// is off (the message trivially arrives on the first attempt).
+    pub fn delivery(&mut self) -> Option<u32> {
+        if self.model.keyframe_loss <= 0.0 {
+            return Some(0);
+        }
+        (0..self.model.attempts_budget())
+            .find(|_| self.rng.gen::<f64>() >= self.model.keyframe_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_model_never_draws_or_drops() {
+        let mut s = FaultState::new(FaultModel::none(), 7, 4);
+        let mut pristine = s.rng.clone();
+        for _ in 0..50 {
+            assert_eq!(s.step_key_frame(), KeyFrameEvents::default());
+            assert_eq!(s.delivery(), Some(0));
+        }
+        assert!(s.all_alive());
+        // The RNG never advanced: fault-free runs are bitwise untouched.
+        assert_eq!(s.rng.gen::<u64>(), pristine.gen::<u64>());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let model = FaultModel {
+            dropout_per_horizon: 0.3,
+            rejoin_per_horizon: 0.5,
+            keyframe_loss: 0.2,
+            ..FaultModel::none()
+        };
+        let run = |seed: u64| -> (Vec<KeyFrameEvents>, Vec<Option<u32>>) {
+            let mut s = FaultState::new(model, seed, 5);
+            let mut events = Vec::new();
+            let mut deliveries = Vec::new();
+            for _ in 0..20 {
+                events.push(s.step_key_frame());
+                for _ in 0..5 {
+                    deliveries.push(s.delivery());
+                }
+            }
+            (events, deliveries)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds give different faults");
+    }
+
+    #[test]
+    fn min_alive_floor_is_never_violated() {
+        let model = FaultModel {
+            dropout_per_horizon: 1.0, // every camera tries to die, every key frame
+            min_alive: 2,
+            ..FaultModel::none()
+        };
+        let mut s = FaultState::new(model, 3, 6);
+        for _ in 0..30 {
+            s.step_key_frame();
+            let alive = s.alive().iter().filter(|&&a| a).count();
+            assert!(alive >= 2, "alive fell to {alive}");
+        }
+    }
+
+    #[test]
+    fn certain_loss_exhausts_the_retry_budget() {
+        let model = FaultModel {
+            keyframe_loss: 1.0,
+            max_retries: 3,
+            ..FaultModel::none()
+        };
+        let mut s = FaultState::new(model, 9, 1);
+        assert_eq!(s.delivery(), None);
+        assert_eq!(model.attempts_budget(), 4);
+        assert_eq!(model.deadline_ms(), 120.0);
+    }
+
+    #[test]
+    fn dead_cameras_can_rejoin() {
+        let model = FaultModel {
+            dropout_per_horizon: 1.0,
+            rejoin_per_horizon: 1.0,
+            min_alive: 1,
+            ..FaultModel::none()
+        };
+        let mut s = FaultState::new(model, 5, 3);
+        let first = s.step_key_frame();
+        assert_eq!(first.dropped.len(), 2, "floor keeps one alive");
+        let second = s.step_key_frame();
+        assert_eq!(second.rejoined.len(), 2, "everyone dead comes back");
+        // With certain rejoin the alive count oscillates but never empties.
+        assert!(s.alive().iter().filter(|&&a| a).count() >= 1);
+    }
+
+    #[test]
+    fn fault_stream_is_disjoint_from_world_and_camera_streams() {
+        let fault = FaultState::new(FaultModel::none(), 42, 4);
+        let first = fault.rng.clone().gen::<u64>();
+        let world = ChaCha8Rng::seed_from_u64(42).gen::<u64>();
+        assert_ne!(first, world, "fault stream collides with the world");
+        for i in 0..8 {
+            let cam = crate::worker::CameraWorker::stream_rng(42, i).gen::<u64>();
+            assert_ne!(first, cam, "fault stream collides with camera {i}");
+        }
+    }
+}

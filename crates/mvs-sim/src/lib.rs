@@ -15,6 +15,8 @@
 //! * [`MaskPrecompute`] / [`StaticWorldPartition`] — distributed-stage
 //!   masks and the SP baseline's offline allocation;
 //! * [`NetworkModel`] — the 20/100 Mbps camera↔scheduler link;
+//! * [`FaultModel`] — seeded camera-dropout and key-frame message-loss
+//!   injection with timeout-plus-retry recovery;
 //! * [`run_pipeline`] — the full frame-by-frame system (Fig. 5) for every
 //!   algorithm in the paper's comparison set.
 //!
@@ -33,6 +35,7 @@
 
 mod camera;
 mod correspond;
+mod faults;
 mod masks;
 mod messages;
 mod network;
@@ -46,6 +49,7 @@ mod world;
 
 pub use camera::CameraModel;
 pub use correspond::{CorrespondenceData, TrainedAssociation};
+pub use faults::FaultModel;
 pub use masks::{MaskPrecompute, StaticWorldPartition};
 pub use messages::{AssignmentMessage, ObjectRecord, UploadMessage};
 pub use network::{NetworkModel, BYTES_PER_OBJECT, MESSAGE_HEADER_BYTES};

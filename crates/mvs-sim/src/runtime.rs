@@ -21,6 +21,7 @@
 //! thread.
 
 use crate::correspond::{CorrespondenceData, TrainedAssociation};
+use crate::faults::{FaultModel, FaultState};
 use crate::masks::{MaskPrecompute, StaticWorldPartition};
 use crate::messages::{AssignmentMessage, ObjectRecord, UploadMessage};
 use crate::network::NetworkModel;
@@ -29,7 +30,9 @@ use crate::worker::{par_map, resolve_threads, CameraWorker, Shadow};
 use crate::world::World;
 use mvs_core::{CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo};
 use mvs_geometry::{BBox, SizeClass};
-use mvs_metrics::{LatencySeries, OverheadBreakdown, OverheadSample, RecallAccumulator};
+use mvs_metrics::{
+    DegradationCounters, LatencySeries, OverheadBreakdown, OverheadSample, RecallAccumulator,
+};
 use mvs_vision::{
     find_new_regions, slice_regions, Detection, DetectionModel, FlowField, FlowTracker,
     GroundTruthObject, LatencyProfile, RegionTask, SimulatedDetector, SizeCounts, TrackerConfig,
@@ -169,6 +172,10 @@ pub struct PipelineConfig {
     pub network: NetworkModel,
     /// Modeled component costs for Table II.
     pub overhead: OverheadModel,
+    /// Fault injection: camera dropout/rejoin and key-frame message loss.
+    /// [`FaultModel::none`] (the default) makes the run bitwise identical
+    /// to the fault-free pipeline.
+    pub faults: FaultModel,
 }
 
 impl PipelineConfig {
@@ -194,6 +201,7 @@ impl PipelineConfig {
             tracker: TrackerConfig::default(),
             network: NetworkModel::default(),
             overhead: OverheadModel::default(),
+            faults: FaultModel::none(),
         }
     }
 }
@@ -232,6 +240,8 @@ pub struct PipelineResult {
     pub overhead_mean: OverheadSample,
     /// Distributed-stage activity counters.
     pub stats: PipelineStats,
+    /// Graceful-degradation bookkeeping (all zeros for fault-free runs).
+    pub degradation: DegradationCounters,
 }
 
 /// Runs the pipeline for `config` on `scenario`.
@@ -279,6 +289,9 @@ struct Pipeline<'a> {
     rng: ChaCha8Rng,
     world: World,
     workers: Vec<CameraWorker>,
+    /// Fault schedule: dedicated RNG stream, stepped at key frames on the
+    /// coordinator thread only.
+    faults: FaultState,
     /// Owner cameras per global object of the current horizon (one entry
     /// with redundancy 1; more under the redundant-assignment extension).
     assignment: Vec<Vec<usize>>,
@@ -290,6 +303,7 @@ struct Pipeline<'a> {
     per_camera: Vec<Vec<f64>>,
     overhead: OverheadBreakdown,
     stats: PipelineStats,
+    degradation: DegradationCounters,
 }
 
 impl<'a> Pipeline<'a> {
@@ -381,6 +395,7 @@ impl<'a> Pipeline<'a> {
             rng,
             world,
             workers,
+            faults: FaultState::new(config.faults, config.seed, m),
             assignment: Vec::new(),
             central_per_frame_ms: 0.0,
             recall: RecallAccumulator::new(),
@@ -388,6 +403,7 @@ impl<'a> Pipeline<'a> {
             per_camera: vec![Vec::new(); m],
             overhead: OverheadBreakdown::new(),
             stats: PipelineStats::default(),
+            degradation: DegradationCounters::default(),
         }
     }
 
@@ -397,9 +413,19 @@ impl<'a> Pipeline<'a> {
         let mut workers = std::mem::take(&mut self.workers);
         for frame in 0..frames {
             self.world.step(dt, &mut self.rng);
-            let (views, flows, visible) = self.observe(&mut workers);
-
             let is_key = frame % self.config.horizon == 0;
+            if is_key {
+                self.step_faults(&mut workers);
+            }
+            let (views, flows, visible, covered) = self.observe(&mut workers);
+            if !self.faults.all_alive() {
+                // Coverage irrecoverably lost to dead cameras: objects no
+                // surviving camera can see still count against recall.
+                self.degradation.degraded_frames += 1;
+                self.degradation.coverage_lost_objects +=
+                    visible.iter().filter(|id| !covered.contains(id)).count() as u64;
+            }
+
             let (frame_latency, detected, oh) = match self.config.algorithm {
                 Algorithm::Full => self.full_frame(&mut workers, &views),
                 _ if is_key => self.key_frame(&mut workers, &views),
@@ -410,9 +436,17 @@ impl<'a> Pipeline<'a> {
             // cameras *now*, which is what makes lag hurt.
             self.recall.record(visible, detected);
             let system = frame_latency.iter().fold(0.0, |a: f64, &b| a.max(b));
-            self.latency.push(system);
+            if system.is_finite() {
+                self.latency.push(system);
+            } else {
+                self.degradation.rejected_samples += 1;
+            }
             for (series, &l) in self.per_camera.iter_mut().zip(&frame_latency) {
-                series.push(l);
+                if l.is_finite() {
+                    series.push(l);
+                } else {
+                    self.degradation.rejected_samples += 1;
+                }
             }
             self.overhead.record_frame(&oh);
             for (w, view) in workers.iter_mut().zip(views) {
@@ -434,6 +468,25 @@ impl<'a> Pipeline<'a> {
             per_camera_series_ms: self.per_camera,
             overhead_mean: self.overhead.mean(),
             stats: self.stats,
+            degradation: self.degradation,
+        }
+    }
+
+    /// Advances the fault schedule at a key frame: draws this horizon's
+    /// dropout/rejoin decisions and wipes the state of cameras that just
+    /// went dark (their tracks, shadows, masks, and lag history would be
+    /// stale by the time they rejoin).
+    fn step_faults(&mut self, workers: &mut [CameraWorker]) {
+        let events = self.faults.step_key_frame();
+        self.degradation.dropouts += events.dropped.len() as u64;
+        self.degradation.rejoins += events.rejoined.len() as u64;
+        for &i in &events.dropped {
+            let w = &mut workers[i];
+            w.tracker.clear();
+            w.shadows.clear();
+            w.track_global.clear();
+            w.mask = None;
+            w.history.clear();
         }
     }
 
@@ -442,21 +495,34 @@ impl<'a> Pipeline<'a> {
     /// optical flow against the previous frame.
     ///
     /// Returns the lag-adjusted views, the flow fields (empty for the Full
-    /// baseline, which never consumes them), and the set of objects truly
-    /// visible *now* (the recall denominator).
+    /// baseline, which never consumes them), the set of objects truly
+    /// visible *now* (the recall denominator — dead cameras included, so
+    /// lost coverage degrades recall instead of shrinking the test), and
+    /// the subset of those visible to at least one *alive* camera.
     fn observe(
         &self,
         workers: &mut [CameraWorker],
-    ) -> (Vec<Vec<GroundTruthObject>>, Vec<FlowField>, HashSet<u64>) {
+    ) -> (
+        Vec<Vec<GroundTruthObject>>,
+        Vec<FlowField>,
+        HashSet<u64>,
+        HashSet<u64>,
+    ) {
         let wants_flow = self.config.algorithm != Algorithm::Full;
         let occlusion = self.scenario.occlusion_threshold;
         let noise = self.config.flow_noise_px;
         let cameras = &self.scenario.cameras;
         let world = &self.world;
+        let alive = self.faults.alive();
         let outs = par_map(workers, self.threads, |w| {
             let true_view = cameras[w.index].visible_objects(world, occlusion);
             let ids: Vec<u64> = true_view.iter().map(|g| g.id).collect();
-            let view = if w.lag == 0 {
+            // A dead camera produces no frames: its processed view is
+            // empty and its flow estimate degenerates to the identity
+            // (drawing nothing from its RNG stream).
+            let view = if !alive[w.index] {
+                Vec::new()
+            } else if w.lag == 0 {
                 // Perfectly synchronized camera: the true view *is* the
                 // processed view; skip the ring buffer entirely.
                 true_view
@@ -476,14 +542,19 @@ impl<'a> Pipeline<'a> {
         let mut views = Vec::with_capacity(outs.len());
         let mut flows = Vec::with_capacity(outs.len());
         let mut visible = HashSet::new();
-        for (ids, view, flow) in outs {
+        let mut covered = HashSet::new();
+        let track_coverage = !self.faults.all_alive();
+        for (i, (ids, view, flow)) in outs.into_iter().enumerate() {
+            if track_coverage && alive[i] {
+                covered.extend(ids.iter().copied());
+            }
             visible.extend(ids);
             views.push(view);
             if let Some(f) = flow {
                 flows.push(f);
             }
         }
-        (views, flows, visible)
+        (views, flows, visible, covered)
     }
 
     /// The Full baseline: full-frame inspection everywhere, every frame.
@@ -492,7 +563,11 @@ impl<'a> Pipeline<'a> {
         workers: &mut [CameraWorker],
         views: &[Vec<GroundTruthObject>],
     ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
+        let alive = self.faults.alive();
         let outs = par_map(workers, self.threads, |w| {
+            if !alive[w.index] {
+                return (0.0, Vec::new());
+            }
             let dets = w.detector.detect_full_frame(&views[w.index], &mut w.rng);
             let ids: Vec<u64> = dets.iter().filter_map(|d| d.truth_id).collect();
             (w.profile.full_frame_ms(), ids)
@@ -516,7 +591,11 @@ impl<'a> Pipeline<'a> {
     ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
         self.stats.key_frames += 1;
         let m = views.len();
+        let alive: Vec<bool> = self.faults.alive().to_vec();
         let det_outs: Vec<(Vec<Detection>, f64)> = par_map(workers, self.threads, |w| {
+            if !alive[w.index] {
+                return (Vec::new(), 0.0);
+            }
             let dets = w.detector.detect_full_frame(&views[w.index], &mut w.rng);
             (dets, w.profile.full_frame_ms())
         });
@@ -528,12 +607,76 @@ impl<'a> Pipeline<'a> {
             latency.push(l);
             all_dets.push(dets);
         }
-        // Reset per-horizon state.
+
+        // Key-frame round trip under message loss: a camera joins this
+        // horizon's schedule only if it is alive and both legs beat the
+        // retry budget. `Some(k)` = delivered after `k` lost attempts.
+        // All draws happen here, on the coordinator, in camera-index
+        // order; the scheduler only answers cameras it heard from.
+        let is_central = matches!(self.config.algorithm, Algorithm::BalbCen | Algorithm::Balb);
+        let mut up: Vec<Option<u32>> = vec![None; m];
+        let mut down: Vec<Option<u32>> = vec![None; m];
+        if is_central {
+            for i in 0..m {
+                if alive[i] {
+                    up[i] = self.faults.delivery();
+                }
+            }
+            for i in 0..m {
+                if up[i].is_some() {
+                    down[i] = self.faults.delivery();
+                }
+            }
+            let budget = self.faults.model().attempts_budget() as u64;
+            for i in 0..m {
+                if !alive[i] {
+                    continue;
+                }
+                match up[i] {
+                    Some(0) => {}
+                    Some(k) => {
+                        self.degradation.lost_uploads += k as u64;
+                        self.degradation.retransmits += 1;
+                    }
+                    None => self.degradation.lost_uploads += budget,
+                }
+                match down[i] {
+                    Some(0) => {}
+                    Some(k) => {
+                        self.degradation.lost_downlinks += k as u64;
+                        self.degradation.retransmits += 1;
+                    }
+                    None if up[i].is_some() => self.degradation.lost_downlinks += budget,
+                    None => {}
+                }
+                if down[i].is_none() {
+                    self.degradation.desynced_horizons += 1;
+                }
+            }
+        } else {
+            for i in 0..m {
+                if alive[i] {
+                    up[i] = Some(0);
+                    down[i] = Some(0);
+                }
+            }
+        }
+        let synced: Vec<bool> = (0..m).map(|i| down[i].is_some()).collect();
+
+        // Reset per-horizon state. A desynchronized camera (alive but out
+        // of the round trip) keeps its running tracks and stale mask, but
+        // drops the global bookkeeping tied to the superseded assignment.
+        // Dead cameras were wiped at the dropout event.
         for w in workers.iter_mut() {
-            w.tracker.clear();
-            w.shadows.clear();
-            w.track_global.clear();
-            w.mask = None;
+            if synced[w.index] {
+                w.tracker.clear();
+                w.shadows.clear();
+                w.track_global.clear();
+                w.mask = None;
+            } else if alive[w.index] {
+                w.shadows.clear();
+                w.track_global.clear();
+            }
         }
         self.assignment = Vec::new();
         self.central_per_frame_ms = 0.0;
@@ -586,125 +729,194 @@ impl<'a> Pipeline<'a> {
             }
             Algorithm::BalbCen | Algorithm::Balb => {
                 let started = self.config.measured_overheads.then(Instant::now);
+                let model = *self.faults.model();
+                // Only uploads the scheduler both received *and* answered
+                // enter the schedule: an unacknowledged camera discards
+                // the horizon, so every scheduled object has a camera that
+                // actually tracks it.
                 let boxes: Vec<Vec<BBox>> = all_dets
                     .iter()
-                    .map(|d| d.iter().map(|x| x.bbox).collect())
-                    .collect();
-                let globals = {
-                    let trained = self.trained.as_ref().expect("association is trained");
-                    trained.engine.associate(&boxes)
-                };
-                // Build the MVS instance.
-                let cameras: Vec<CameraInfo> = workers
-                    .iter()
-                    .map(|w| CameraInfo {
-                        id: CameraId(w.index),
-                        profile: w.profile.clone(),
+                    .enumerate()
+                    .map(|(cam, d)| {
+                        if synced[cam] {
+                            d.iter().map(|x| x.bbox).collect()
+                        } else {
+                            Vec::new()
+                        }
                     })
                     .collect();
-                let margin = 1.0 + self.config.tracker.margin_frac;
-                let objects: Vec<ObjectInfo> = globals
-                    .iter()
-                    .enumerate()
-                    .map(|(g, go)| {
-                        let sizes: BTreeMap<CameraId, SizeClass> = go
-                            .members
-                            .iter()
-                            .map(|&(cam, det)| {
-                                let b = boxes[cam][det];
-                                (
-                                    CameraId(cam),
-                                    SizeClass::quantize(b.width() * margin, b.height() * margin),
-                                )
+                let synced_cams: Vec<CameraId> =
+                    (0..m).filter(|&i| synced[i]).map(CameraId).collect();
+                let mut priority: Vec<CameraId> = Vec::new();
+                if !synced_cams.is_empty() {
+                    let globals = {
+                        let trained = self.trained.as_ref().expect("association is trained");
+                        trained.engine.associate(&boxes)
+                    };
+                    // Build the MVS instance over the full deployment …
+                    let cameras: Vec<CameraInfo> = workers
+                        .iter()
+                        .map(|w| CameraInfo {
+                            id: CameraId(w.index),
+                            profile: w.profile.clone(),
+                        })
+                        .collect();
+                    let margin = 1.0 + self.config.tracker.margin_frac;
+                    let objects: Vec<ObjectInfo> = globals
+                        .iter()
+                        .enumerate()
+                        .map(|(g, go)| {
+                            let sizes: BTreeMap<CameraId, SizeClass> = go
+                                .members
+                                .iter()
+                                .map(|&(cam, det)| {
+                                    let b = boxes[cam][det];
+                                    (
+                                        CameraId(cam),
+                                        SizeClass::quantize(
+                                            b.width() * margin,
+                                            b.height() * margin,
+                                        ),
+                                    )
+                                })
+                                .collect();
+                            ObjectInfo {
+                                id: ObjectId(g),
+                                sizes,
+                            }
+                        })
+                        .collect();
+                    let problem =
+                        MvsProblem::new(cameras, objects).expect("pipeline builds valid instances");
+                    let redundancy = self.config.redundancy.max(1);
+                    // … and solve on the synced sub-problem when degraded,
+                    // lifting owners and priority back to deployment ids.
+                    if synced_cams.len() == m {
+                        let schedule = mvs_core::extensions::balb_redundant(&problem, redundancy);
+                        self.assignment = (0..globals.len())
+                            .map(|g| {
+                                schedule
+                                    .assignment
+                                    .owners_of(ObjectId(g))
+                                    .iter()
+                                    .map(|c| c.0)
+                                    .collect()
                             })
                             .collect();
-                        ObjectInfo {
-                            id: ObjectId(g),
-                            sizes,
+                        priority = schedule.priority;
+                    } else {
+                        let subset = problem
+                            .restrict_to_cameras(&synced_cams)
+                            .expect("at least one synced camera");
+                        let schedule =
+                            mvs_core::extensions::balb_redundant(&subset.problem, redundancy);
+                        self.assignment = vec![Vec::new(); globals.len()];
+                        for o in subset.problem.objects() {
+                            let orig = subset.original_object(o.id);
+                            self.assignment[orig.0] = schedule
+                                .assignment
+                                .owners_of(o.id)
+                                .iter()
+                                .map(|&c| subset.original_camera(c).0)
+                                .collect();
                         }
-                    })
-                    .collect();
-                let problem =
-                    MvsProblem::new(cameras, objects).expect("pipeline builds valid instances");
-                let schedule =
-                    mvs_core::extensions::balb_redundant(&problem, self.config.redundancy.max(1));
+                        priority = subset.lift_priority(&schedule.priority);
+                    }
+
+                    // Seed trackers per the assignment; record shadows.
+                    for (g, go) in globals.iter().enumerate() {
+                        let owners = &self.assignment[g];
+                        for &(cam, det) in &go.members {
+                            let d = &all_dets[cam][det];
+                            if owners.contains(&cam) {
+                                let id = workers[cam].tracker.seed(d.bbox, d.truth_id);
+                                workers[cam].track_global.insert(id, g);
+                            } else if self.config.algorithm == Algorithm::Balb {
+                                workers[cam].shadows.insert(
+                                    g,
+                                    Shadow {
+                                        bbox: d.bbox,
+                                        gone_frames: 0,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    // Distributed-stage masks under the new priority
+                    // order. Only synced cameras hear it; the priority
+                    // omits everyone else, so survivors absorb dead
+                    // cameras' cells while desynced cameras coast on
+                    // their stale masks.
+                    if self.config.algorithm == Algorithm::Balb {
+                        let pre = self.precompute.as_ref().expect("BALB precomputes masks");
+                        for w in workers.iter_mut() {
+                            if synced[w.index] {
+                                w.mask = Some(pre.mask_for(w.index, &priority));
+                            }
+                        }
+                    }
+                }
                 let compute_ms = started.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
 
-                // Seed trackers per the assignment; record shadows.
-                self.assignment = (0..globals.len())
-                    .map(|g| {
-                        schedule
-                            .assignment
-                            .owners_of(ObjectId(g))
-                            .iter()
-                            .map(|c| c.0)
-                            .collect()
-                    })
-                    .collect();
-                for (g, go) in globals.iter().enumerate() {
-                    let owners = &self.assignment[g];
-                    for &(cam, det) in &go.members {
-                        let d = &all_dets[cam][det];
-                        if owners.contains(&cam) {
-                            let id = workers[cam].tracker.seed(d.bbox, d.truth_id);
-                            workers[cam].track_global.insert(id, g);
-                        } else if self.config.algorithm == Algorithm::Balb {
-                            workers[cam].shadows.insert(
-                                g,
-                                Shadow {
-                                    bbox: d.bbox,
-                                    gone_frames: 0,
-                                },
-                            );
-                        }
-                    }
-                }
-                // Distributed-stage masks under the new priority order.
-                if self.config.algorithm == Algorithm::Balb {
-                    let pre = self.precompute.as_ref().expect("BALB precomputes masks");
-                    for w in workers.iter_mut() {
-                        w.mask = Some(pre.mask_for(w.index, &schedule.priority));
-                    }
-                }
-                // Central-stage cost: computation plus the slowest camera's
-                // key-frame round trip (typed wire messages), amortized
-                // over the horizon.
-                let uplink_ms = all_dets
+                // Central-stage cost: computation plus the slowest
+                // camera's key-frame round trip (typed wire messages),
+                // amortized over the horizon. Lost attempts cost one
+                // retry timeout each; a camera that never answers makes
+                // the scheduler wait out the whole retry schedule.
+                let uplink_phase = all_dets
                     .iter()
                     .enumerate()
-                    .map(|(cam, dets)| {
-                        let msg = UploadMessage {
-                            camera: cam as u32,
-                            frame: 0,
-                            objects: dets
-                                .iter()
-                                .enumerate()
-                                .map(|(d, det)| ObjectRecord {
-                                    detection: d as u32,
-                                    bbox: det.bbox,
-                                    confidence: det.confidence as f32,
-                                    size: SizeClass::quantize(det.bbox.width(), det.bbox.height()),
-                                })
-                                .collect(),
-                        };
-                        self.config.network.uplink_ms(msg.encoded_len())
+                    .map(|(cam, dets)| match up[cam] {
+                        Some(lost) => {
+                            let msg = UploadMessage {
+                                camera: cam as u32,
+                                frame: 0,
+                                objects: dets
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(d, det)| ObjectRecord {
+                                        detection: d as u32,
+                                        bbox: det.bbox,
+                                        confidence: det.confidence as f32,
+                                        size: SizeClass::quantize(
+                                            det.bbox.width(),
+                                            det.bbox.height(),
+                                        ),
+                                    })
+                                    .collect(),
+                            };
+                            lost as f64 * model.retry_timeout_ms
+                                + self.config.network.uplink_ms(msg.encoded_len())
+                        }
+                        None => model.deadline_ms(),
                     })
                     .fold(0.0, f64::max);
-                let reply = AssignmentMessage {
-                    horizon: 0,
-                    assignments: (0..globals.len())
-                        .map(|g| {
-                            (
-                                g as u32,
-                                self.assignment[g].iter().map(|&c| c as u32).collect(),
-                            )
-                        })
-                        .collect(),
-                    priority: schedule.priority.iter().map(|c| c.0 as u32).collect(),
+                let reply_ms = if synced_cams.is_empty() {
+                    0.0
+                } else {
+                    let reply = AssignmentMessage {
+                        horizon: 0,
+                        assignments: (0..self.assignment.len())
+                            .map(|g| {
+                                (
+                                    g as u32,
+                                    self.assignment[g].iter().map(|&c| c as u32).collect(),
+                                )
+                            })
+                            .collect(),
+                        priority: priority.iter().map(|c| c.0 as u32).collect(),
+                    };
+                    self.config.network.downlink_ms(reply.encoded_len())
                 };
-                let downlink_ms = self.config.network.downlink_ms(reply.encoded_len());
+                let downlink_phase = (0..m)
+                    .map(|cam| match (up[cam].is_some(), down[cam]) {
+                        (true, Some(lost)) => lost as f64 * model.retry_timeout_ms + reply_ms,
+                        (true, None) => model.deadline_ms(),
+                        (false, _) => 0.0,
+                    })
+                    .fold(0.0, f64::max);
                 self.central_per_frame_ms =
-                    (compute_ms + uplink_ms + downlink_ms) / self.config.horizon as f64;
+                    (compute_ms + uplink_phase + downlink_phase) / self.config.horizon as f64;
             }
             Algorithm::Full => unreachable!("handled by full_frame"),
         }
@@ -750,9 +962,25 @@ impl<'a> Pipeline<'a> {
             let trained = self.trained.as_ref();
             let partition = self.partition.as_ref();
             let world = &self.world;
+            let alive = self.faults.alive();
             par_map(workers, self.threads, |w| {
                 let i = w.index;
                 let frame_dims = w.frame;
+                if !alive[i] {
+                    // A dead camera does no work; it still carries the
+                    // amortized central cost like every other column of
+                    // Table II.
+                    return RegularOutput {
+                        latency_ms: 0.0,
+                        detected: Vec::new(),
+                        taken: Vec::new(),
+                        probes: 0,
+                        sample: OverheadSample {
+                            central_ms,
+                            ..Default::default()
+                        },
+                    };
+                }
                 // 1. Flow-predict tracks and shadows.
                 w.tracker.predict(&flows[i]);
                 if algorithm == Algorithm::Balb {
@@ -775,9 +1003,10 @@ impl<'a> Pipeline<'a> {
                 // the frame-start assignment snapshot.
                 let distributed_started = measured.then(Instant::now);
                 let mut takeover_seeds: Vec<(usize, BBox)> = Vec::new();
-                if algorithm == Algorithm::Balb {
+                // A camera without a mask (rejoined but not yet resynced)
+                // skips the takeover scan; its shadows are empty anyway.
+                if let (Algorithm::Balb, Some(mask)) = (algorithm, w.mask.as_ref()) {
                     let trained = trained.expect("trained");
-                    let mask = w.mask.as_ref().expect("mask built");
                     for (&g, shadow) in w.shadows.iter_mut() {
                         let owners = &assignment[g];
                         if owners.contains(&i) {
@@ -827,11 +1056,12 @@ impl<'a> Pipeline<'a> {
                     for region in fresh {
                         let responsible = match algorithm {
                             Algorithm::BalbInd => true,
+                            // No mask (awaiting resync) ⇒ not responsible
+                            // for anything new.
                             Algorithm::Balb => w
                                 .mask
                                 .as_ref()
-                                .expect("mask built")
-                                .is_responsible_for(&region),
+                                .is_some_and(|mask| mask.is_responsible_for(&region)),
                             Algorithm::StaticPartition => w
                                 .static_mask
                                 .as_ref()
