@@ -1,0 +1,142 @@
+//! Observability artifact: per-stage latency breakdown from the span
+//! recorder, written to `results/BENCH_trace.json`.
+//!
+//! Runs the full BALB pipeline on S2 with tracing enabled and reduces the
+//! span stream to per-stage p50/p99 modeled latency and each stage's share
+//! of the total. Two overhead checks ride along: the traced run must agree
+//! bitwise with the untraced run (spans are pure observation), and the
+//! disabled-path cost — a `span_into(None, ..)` micro-benchmark projected
+//! over the number of spans a traced run records — must stay under 1% of
+//! the untraced pipeline's wall time.
+//!
+//! Run with `cargo run --release -p mvs-bench --bin bench_trace`.
+
+use mvs_bench::{write_json, SEED};
+use mvs_sim::{
+    run_pipeline, run_pipeline_traced, Algorithm, PipelineConfig, Scenario, ScenarioKind,
+};
+use mvs_trace::{span_into, Stage};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const NOOP_CALLS: u64 = 20_000_000;
+
+#[derive(Serialize)]
+struct StageRow {
+    stage: String,
+    spans: usize,
+    items: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    total_ms: f64,
+    share: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: String,
+    algorithm: String,
+    train_s: f64,
+    eval_s: f64,
+    spans: usize,
+    stages: Vec<StageRow>,
+    untraced_wall_ms: f64,
+    traced_wall_ms: f64,
+    noop_ns_per_call: f64,
+    projected_disabled_overhead_frac: f64,
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        train_s: 30.0,
+        eval_s: 30.0,
+        seed: SEED,
+        // Pure-function mode so the traced and untraced runs are
+        // comparable bitwise.
+        measured_overheads: false,
+        ..PipelineConfig::paper_default(Algorithm::Balb)
+    }
+}
+
+fn main() {
+    let scenario = Scenario::new(ScenarioKind::S2);
+    let cfg = config();
+
+    let started = Instant::now();
+    let untraced = run_pipeline(&scenario, &cfg);
+    let untraced_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let (traced, trace) = run_pipeline_traced(&scenario, &cfg);
+    let traced_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        untraced, traced,
+        "recording spans must not perturb the simulation"
+    );
+
+    // Disabled-path cost: the instrumented hot paths reduce to
+    // `span_into(None, ..)`. Measure it directly and project over the
+    // number of spans one traced run records.
+    let started = Instant::now();
+    for i in 0..NOOP_CALLS {
+        span_into(
+            black_box(None),
+            black_box(Stage::Flow),
+            black_box(9.0),
+            black_box(i as usize & 7),
+        );
+    }
+    let noop_ns_per_call = started.elapsed().as_secs_f64() * 1e9 / NOOP_CALLS as f64;
+    let projected_ms = noop_ns_per_call * trace.len() as f64 / 1e6;
+    let projected_frac = projected_ms / untraced_wall_ms;
+    assert!(
+        projected_frac < 0.01,
+        "disabled tracer projected at {:.3}% of pipeline wall time \
+         ({noop_ns_per_call:.2} ns/call x {} spans vs {untraced_wall_ms:.0} ms)",
+        projected_frac * 100.0,
+        trace.len()
+    );
+
+    let stats = trace.stage_stats();
+    let total_ms = trace.total_modeled_ms().max(f64::MIN_POSITIVE);
+    let stages: Vec<StageRow> = stats
+        .iter()
+        .map(|(stage, s)| StageRow {
+            stage: stage.name().to_string(),
+            spans: s.summary.count,
+            items: s.items,
+            p50_ms: s.summary.p50,
+            p99_ms: s.summary.p99,
+            total_ms: s.total_ms,
+            share: s.total_ms / total_ms,
+        })
+        .collect();
+
+    println!(
+        "per-stage modeled latency (S2, BALB, {} spans)\n",
+        trace.len()
+    );
+    println!("{}", trace.prometheus_text());
+    println!(
+        "untraced {untraced_wall_ms:.0} ms, traced {traced_wall_ms:.0} ms, \
+         no-op span {noop_ns_per_call:.2} ns/call, projected disabled overhead {:.4}%",
+        projected_frac * 100.0
+    );
+
+    let report = Report {
+        scenario: "S2".to_string(),
+        algorithm: Algorithm::Balb.to_string(),
+        train_s: 30.0,
+        eval_s: 30.0,
+        spans: trace.len(),
+        stages,
+        untraced_wall_ms,
+        traced_wall_ms,
+        noop_ns_per_call,
+        projected_disabled_overhead_frac: projected_frac,
+    };
+    let path = write_json("BENCH_trace", &report);
+    println!("\nwrote {}", path.display());
+}

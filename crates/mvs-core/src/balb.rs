@@ -150,6 +150,20 @@ pub fn balb_central(problem: &MvsProblem) -> BalbSchedule {
     }
 }
 
+/// Traced variant of [`balb_central`]: additionally records a
+/// [`mvs_trace::Stage::Central`] span whose item count is the number of
+/// objects scheduled. The solve's wall-clock cost is measured (or zeroed)
+/// by the caller's overhead accounting, so the span duration is zero —
+/// keeping traces bitwise deterministic.
+pub fn balb_central_traced(
+    problem: &MvsProblem,
+    trace: Option<&mut mvs_trace::TraceBuf>,
+) -> BalbSchedule {
+    let schedule = balb_central(problem);
+    mvs_trace::span_into(trace, mvs_trace::Stage::Central, 0.0, problem.num_objects());
+    schedule
+}
+
 /// Compares the relative capacities `cap_a / limit_a` and `cap_b / limit_b`
 /// exactly via integer cross-multiplication (`cap_a·limit_b` vs
 /// `cap_b·limit_a`), widened to `u128` so the products cannot overflow.

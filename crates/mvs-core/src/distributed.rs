@@ -14,7 +14,10 @@
 //! because they share the priority order and the (synchronized) masks.
 
 use crate::{BalbSchedule, CameraId};
+use mvs_geometry::BBox;
+use mvs_trace::{span_into, Stage, TraceBuf};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// The fixed per-horizon policy each camera runs locally at regular frames.
 ///
@@ -110,6 +113,83 @@ impl DistributedPolicy {
     }
 }
 
+/// A camera's local estimate of an object assigned to *another* camera:
+/// the flow-updated bounding box plus how many consecutive frames the
+/// cross-camera models have said the object is gone from every owner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShadowTrack {
+    /// This camera's flow-updated estimate of the object's box.
+    pub bbox: BBox,
+    /// Consecutive frames the owners have reported the object gone.
+    pub gone_frames: u32,
+}
+
+impl ShadowTrack {
+    /// A fresh shadow seeded from a key-frame detection.
+    pub fn new(bbox: BBox) -> Self {
+        ShadowTrack {
+            bbox,
+            gone_frames: 0,
+        }
+    }
+}
+
+/// Per-shadow answer to "should this camera consider taking the object
+/// over?", produced by the caller's cross-camera models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowVerdict {
+    /// This camera is itself an owner — nothing to take over.
+    OwnedHere,
+    /// The object has left every owner's view (per the synchronized pair
+    /// models); one step toward the hysteresis threshold.
+    Gone,
+    /// At least one owner still sees the object; the gone-streak resets.
+    Visible,
+}
+
+/// One regular-frame takeover scan: the core of the distributed stage.
+///
+/// Walks the shadows in ascending global-object order (the `BTreeMap`
+/// order, which is what makes the scan deterministic), updates each
+/// shadow's gone-streak from `verdict`, and collects the shadows whose
+/// streak reached `hysteresis` *and* whose box falls in a cell this camera
+/// owns (`responsible`). Collected shadows are removed from the map and
+/// returned as `(global index, box)` seeds for the caller's tracker.
+///
+/// The hysteresis exists so one noisy classifier answer cannot steal a
+/// still-tracked object (Sec. III-C2).
+///
+/// Records a [`Stage::Distributed`] span (items = takeovers; duration zero,
+/// since the scan's wall-clock cost is accounted by the caller).
+pub fn scan_takeovers<V, R>(
+    shadows: &mut BTreeMap<usize, ShadowTrack>,
+    hysteresis: u32,
+    mut verdict: V,
+    mut responsible: R,
+    trace: Option<&mut TraceBuf>,
+) -> Vec<(usize, BBox)>
+where
+    V: FnMut(usize, &BBox) -> ShadowVerdict,
+    R: FnMut(&BBox) -> bool,
+{
+    let mut seeds: Vec<(usize, BBox)> = Vec::new();
+    for (&g, shadow) in shadows.iter_mut() {
+        match verdict(g, &shadow.bbox) {
+            ShadowVerdict::OwnedHere => continue,
+            ShadowVerdict::Gone => shadow.gone_frames += 1,
+            ShadowVerdict::Visible => shadow.gone_frames = 0,
+        }
+        if shadow.gone_frames >= hysteresis && responsible(&shadow.bbox) {
+            seeds.push((g, shadow.bbox));
+        }
+    }
+    for (g, _) in &seeds {
+        shadows.remove(g);
+    }
+    span_into(trace, Stage::Distributed, 0.0, seeds.len());
+    seeds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +270,83 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_empty_order() {
         DistributedPolicy::new(vec![]);
+    }
+
+    fn shadow_at(x: f64) -> ShadowTrack {
+        ShadowTrack::new(BBox::new(x, 0.0, x + 10.0, 10.0).unwrap())
+    }
+
+    #[test]
+    fn takeover_requires_consecutive_gone_frames() {
+        let mut shadows = BTreeMap::from([(4usize, shadow_at(0.0))]);
+        // Two gone frames, then a visible one, then two more: the streak
+        // resets, so hysteresis 3 is never reached.
+        for v in [
+            ShadowVerdict::Gone,
+            ShadowVerdict::Gone,
+            ShadowVerdict::Visible,
+            ShadowVerdict::Gone,
+            ShadowVerdict::Gone,
+        ] {
+            let seeds = scan_takeovers(&mut shadows, 3, |_, _| v, |_| true, None);
+            assert!(seeds.is_empty());
+        }
+        assert_eq!(shadows[&4].gone_frames, 2);
+        // A third consecutive gone frame finally triggers the takeover and
+        // removes the shadow.
+        let seeds = scan_takeovers(&mut shadows, 3, |_, _| ShadowVerdict::Gone, |_| true, None);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].0, 4);
+        assert!(shadows.is_empty());
+    }
+
+    #[test]
+    fn owned_shadows_are_skipped_entirely() {
+        let mut shadows = BTreeMap::from([(0usize, shadow_at(0.0))]);
+        for _ in 0..5 {
+            let seeds = scan_takeovers(
+                &mut shadows,
+                1,
+                |_, _| ShadowVerdict::OwnedHere,
+                |_| true,
+                None,
+            );
+            assert!(seeds.is_empty());
+        }
+        // OwnedHere neither increments nor resets the streak.
+        assert_eq!(shadows[&0].gone_frames, 0);
+    }
+
+    #[test]
+    fn irresponsible_camera_keeps_counting_but_never_takes() {
+        let mut shadows = BTreeMap::from([(1usize, shadow_at(0.0))]);
+        for _ in 0..4 {
+            let seeds =
+                scan_takeovers(&mut shadows, 3, |_, _| ShadowVerdict::Gone, |_| false, None);
+            assert!(seeds.is_empty());
+        }
+        assert_eq!(shadows[&1].gone_frames, 4);
+    }
+
+    #[test]
+    fn scan_visits_shadows_in_global_index_order() {
+        let mut shadows = BTreeMap::from([
+            (9usize, shadow_at(0.0)),
+            (2usize, shadow_at(20.0)),
+            (5usize, shadow_at(40.0)),
+        ]);
+        let mut visited = Vec::new();
+        scan_takeovers(
+            &mut shadows,
+            1,
+            |g, _| {
+                visited.push(g);
+                ShadowVerdict::Gone
+            },
+            |_| true,
+            None,
+        );
+        assert_eq!(visited, vec![2, 5, 9]);
+        assert!(shadows.is_empty());
     }
 }

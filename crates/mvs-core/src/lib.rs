@@ -53,8 +53,8 @@ mod mask;
 mod problem;
 
 pub use assignment::Assignment;
-pub use balb::{balb_central, BalbSchedule};
-pub use distributed::DistributedPolicy;
+pub use balb::{balb_central, balb_central_traced, BalbSchedule};
+pub use distributed::{scan_takeovers, DistributedPolicy, ShadowTrack, ShadowVerdict};
 pub use ids::{CameraId, ObjectId};
 pub use mask::CameraMask;
 pub use problem::{CameraInfo, CameraSubset, MvsProblem, ObjectInfo, ProblemConfig, ProblemError};

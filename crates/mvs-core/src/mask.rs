@@ -170,4 +170,69 @@ mod tests {
     fn build_requires_own_camera_in_priority() {
         CameraMask::build(CameraId(5), grid(), &[CameraId(0)], |_, _| false);
     }
+
+    #[test]
+    fn dropping_a_camera_from_priority_lifts_its_cells_to_survivors() {
+        // Degraded re-sync: a dead camera is omitted from the priority
+        // order entirely, so the cells it used to claim fall to the next
+        // covering camera instead of going unowned.
+        let observed = |c: CameraId, p: Point2| c == CameraId(0) && p.x < 100.0;
+        let full = CameraMask::build(CameraId(1), grid(), &[CameraId(0), CameraId(1)], observed);
+        assert_eq!(full.owner_at(Point2::new(10.0, 10.0)), Some(CameraId(0)));
+
+        let degraded = CameraMask::build(CameraId(1), grid(), &[CameraId(1)], observed);
+        // Camera 1 absorbs the dead camera's half …
+        assert_eq!(
+            degraded.owner_at(Point2::new(10.0, 10.0)),
+            Some(CameraId(1))
+        );
+        assert_eq!(degraded.owned_fraction(), 1.0);
+        // … and the right half is unchanged.
+        assert_eq!(
+            degraded.owner_at(Point2::new(150.0, 10.0)),
+            full.owner_at(Point2::new(150.0, 10.0))
+        );
+    }
+
+    #[test]
+    fn reordering_priority_moves_contested_cells_only() {
+        // Cameras 0 and 2 both observe the left half of camera 1's frame;
+        // flipping their relative priority re-owns exactly the contested
+        // cells and nothing else.
+        let observed =
+            |c: CameraId, p: Point2| (c == CameraId(0) || c == CameraId(2)) && p.x < 100.0;
+        let zero_first = CameraMask::build(
+            CameraId(1),
+            grid(),
+            &[CameraId(0), CameraId(2), CameraId(1)],
+            observed,
+        );
+        let two_first = CameraMask::build(
+            CameraId(1),
+            grid(),
+            &[CameraId(2), CameraId(0), CameraId(1)],
+            observed,
+        );
+        let left = Point2::new(10.0, 10.0);
+        let right = Point2::new(150.0, 10.0);
+        assert_eq!(zero_first.owner_at(left), Some(CameraId(0)));
+        assert_eq!(two_first.owner_at(left), Some(CameraId(2)));
+        assert_eq!(zero_first.owner_at(right), Some(CameraId(1)));
+        assert_eq!(two_first.owner_at(right), Some(CameraId(1)));
+        assert_eq!(zero_first.owned_fraction(), two_first.owned_fraction());
+    }
+
+    #[test]
+    fn promoting_own_camera_to_top_priority_claims_every_covered_cell() {
+        // When this camera leads the priority order its cells cannot be
+        // claimed by anyone, whatever the overlap models say.
+        let observed = |_: CameraId, _: Point2| true;
+        let mask = CameraMask::build(
+            CameraId(1),
+            grid(),
+            &[CameraId(1), CameraId(0), CameraId(2)],
+            observed,
+        );
+        assert_eq!(mask.owned_fraction(), 1.0);
+    }
 }

@@ -185,4 +185,36 @@ mod tests {
         assert_eq!(r.rejected(), 3);
         assert_eq!(r.mean(), 2.0);
     }
+
+    #[test]
+    fn try_push_nan_as_first_sample_leaves_stats_zeroed() {
+        // A NaN arriving before any accepted sample must not poison the
+        // accumulator: Welford's update would turn one NaN into NaN mean
+        // and variance forever if it slipped through.
+        let mut r = Running::new();
+        assert!(!r.try_push(f64::NAN));
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.rejected(), 1);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.sample_std(), 0.0);
+        // The accumulator still works normally afterwards.
+        assert!(r.try_push(5.0));
+        assert!(r.try_push(9.0));
+        assert_eq!(r.mean(), 7.0);
+        assert!(r.mean().is_finite());
+    }
+
+    #[test]
+    fn try_push_inf_as_first_sample_leaves_stats_zeroed() {
+        let mut r = Running::new();
+        assert!(!r.try_push(f64::INFINITY));
+        assert!(!r.try_push(f64::NEG_INFINITY));
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.rejected(), 2);
+        assert_eq!(r.mean(), 0.0);
+        assert!(r.try_push(-4.0));
+        assert_eq!(r.mean(), -4.0);
+        assert_eq!(r.count(), 1);
+    }
 }

@@ -119,4 +119,34 @@ mod tests {
     fn rejects_nan() {
         Summary::of(&[f64::NAN]);
     }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_anywhere_in_the_slice() {
+        // NaN breaks `partial_cmp`-based sorting, so it must be rejected
+        // up front no matter where it hides — not only at index 0.
+        Summary::of(&[1.0, 2.0, f64::NAN, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_positive_infinity() {
+        Summary::of(&[1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_infinity() {
+        Summary::of(&[f64::NEG_INFINITY, 1.0]);
+    }
+
+    #[test]
+    fn negative_zero_sorts_with_zero() {
+        // -0.0 == 0.0 under `partial_cmp`; the summary must stay total and
+        // place both at the bottom without panicking.
+        let s = Summary::of(&[0.0, -0.0, 1.0]);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.p50, 0.0);
+    }
 }

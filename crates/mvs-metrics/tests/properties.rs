@@ -31,6 +31,17 @@ proptest! {
     }
 
     #[test]
+    fn percentiles_are_sample_members(samples in prop::collection::vec(-1e5f64..1e5, 1..100)) {
+        // Nearest-rank percentiles select an actual sample, never an
+        // interpolated value — and in particular p99 <= max always holds.
+        let s = Summary::of(&samples);
+        for p in [s.p50, s.p95, s.p99] {
+            prop_assert!(samples.contains(&p), "{p} not in the sample set");
+        }
+        prop_assert!(s.p99 <= s.max);
+    }
+
+    #[test]
     fn sparkline_length_matches_input(samples in prop::collection::vec(0.0f64..100.0, 0..80)) {
         prop_assert_eq!(sparkline(&samples).chars().count(), samples.len());
     }

@@ -56,7 +56,8 @@ pub use network::{NetworkModel, BYTES_PER_OBJECT, MESSAGE_HEADER_BYTES};
 pub use render::render_ascii;
 pub use response::{replay_response, QueuePolicy, ResponseStats};
 pub use runtime::{
-    run_pipeline, Algorithm, OverheadModel, PipelineConfig, PipelineResult, PipelineStats,
+    run_pipeline, run_pipeline_traced, Algorithm, OverheadModel, PipelineConfig, PipelineResult,
+    PipelineStats,
 };
 pub use scenario::{Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
 pub use trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};

@@ -26,15 +26,19 @@ use crate::masks::{MaskPrecompute, StaticWorldPartition};
 use crate::messages::{AssignmentMessage, ObjectRecord, UploadMessage};
 use crate::network::NetworkModel;
 use crate::scenario::Scenario;
-use crate::worker::{par_map, resolve_threads, CameraWorker, Shadow};
+use crate::worker::{par_map, resolve_threads, CameraWorker};
 use crate::world::World;
-use mvs_core::{CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo};
+use mvs_core::{
+    scan_takeovers, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo, ShadowTrack,
+    ShadowVerdict,
+};
 use mvs_geometry::{BBox, SizeClass};
 use mvs_metrics::{
     DegradationCounters, LatencySeries, OverheadBreakdown, OverheadSample, RecallAccumulator,
 };
+use mvs_trace::{span_into, Stage, Trace, TraceRecorder};
 use mvs_vision::{
-    find_new_regions, slice_regions, Detection, DetectionModel, FlowField, FlowTracker,
+    find_new_regions, slice_regions_traced, Detection, DetectionModel, FlowField, FlowTracker,
     GroundTruthObject, LatencyProfile, RegionTask, SimulatedDetector, SizeCounts, TrackerConfig,
 };
 use rand::SeedableRng;
@@ -258,7 +262,33 @@ pub struct PipelineResult {
 /// scenarios, whose cameras always see traffic during training).
 pub fn run_pipeline(scenario: &Scenario, config: &PipelineConfig) -> PipelineResult {
     assert!(config.horizon > 0, "horizon must be positive");
-    Pipeline::new(scenario, config).run()
+    Pipeline::new(scenario, config).run().0
+}
+
+/// Runs the pipeline with structured tracing enabled and returns the
+/// per-stage span stream alongside the normal result.
+///
+/// The [`Trace`] timestamps live on the sim clock (frame `f` starts at
+/// `f / fps` seconds) and span durations are the *modeled* stage costs, so
+/// the trace — like the result — is a deterministic function of
+/// `(scenario, config)` at any thread count. Stages whose cost the
+/// simulator measures wall-clock (central solve, distributed scan) appear
+/// with duration zero; with [`PipelineConfig::measured_overheads`] off the
+/// trace is additionally bitwise reproducible across machines, which is
+/// what the golden-trace suite snapshots.
+///
+/// # Panics
+///
+/// Same conditions as [`run_pipeline`].
+pub fn run_pipeline_traced(
+    scenario: &Scenario,
+    config: &PipelineConfig,
+) -> (PipelineResult, Trace) {
+    assert!(config.horizon > 0, "horizon must be positive");
+    let mut pipeline = Pipeline::new(scenario, config);
+    pipeline.enable_tracing();
+    let (result, trace) = pipeline.run();
+    (result, trace.expect("tracing was enabled"))
 }
 
 /// Consecutive "gone from owner" frames required before a takeover; one
@@ -297,6 +327,9 @@ struct Pipeline<'a> {
     assignment: Vec<Vec<usize>>,
     /// Amortized central-stage cost charged to every frame of the horizon.
     central_per_frame_ms: f64,
+    /// Structured-tracing recorder; `None` (the default) keeps every
+    /// span-recording site a no-op.
+    tracer: Option<TraceRecorder>,
     // Outputs.
     recall: RecallAccumulator,
     latency: LatencySeries,
@@ -382,6 +415,7 @@ impl<'a> Pipeline<'a> {
                     track_global: HashMap::new(),
                     mask: None,
                     static_mask: static_masks[i].take(),
+                    trace: None,
                 }
             })
             .collect();
@@ -398,6 +432,7 @@ impl<'a> Pipeline<'a> {
             faults: FaultState::new(config.faults, config.seed, m),
             assignment: Vec::new(),
             central_per_frame_ms: 0.0,
+            tracer: None,
             recall: RecallAccumulator::new(),
             latency: LatencySeries::new(),
             per_camera: vec![Vec::new(); m],
@@ -407,12 +442,29 @@ impl<'a> Pipeline<'a> {
         }
     }
 
-    fn run(mut self) -> PipelineResult {
+    /// Turns on structured tracing: one span buffer per camera lane plus
+    /// the coordinator lane, stamped on the scenario's sim clock.
+    fn enable_tracing(&mut self) {
+        self.tracer = Some(TraceRecorder::new(self.scenario.fps));
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            w.trace = Some(TraceRecorder::camera_buf(i));
+        }
+    }
+
+    fn run(mut self) -> (PipelineResult, Option<Trace>) {
         let dt = self.scenario.frame_dt_s();
         let frames = (self.config.eval_s * self.scenario.fps).round() as usize;
         let mut workers = std::mem::take(&mut self.workers);
         for frame in 0..frames {
             self.world.step(dt, &mut self.rng);
+            if let Some(t) = &mut self.tracer {
+                let start_us = t.begin_frame(frame);
+                for w in workers.iter_mut() {
+                    if let Some(buf) = &mut w.trace {
+                        buf.begin_frame(frame as u32, start_us);
+                    }
+                }
+            }
             let is_key = frame % self.config.horizon == 0;
             if is_key {
                 self.step_faults(&mut workers);
@@ -452,13 +504,16 @@ impl<'a> Pipeline<'a> {
             for (w, view) in workers.iter_mut().zip(views) {
                 w.prev_view = view;
             }
+            if let Some(t) = &mut self.tracer {
+                t.end_frame(workers.iter_mut().filter_map(|w| w.trace.as_mut()));
+            }
         }
         let per_camera_mean_ms = self
             .per_camera
             .iter()
             .map(|s| s.iter().sum::<f64>() / s.len().max(1) as f64)
             .collect();
-        PipelineResult {
+        let result = PipelineResult {
             algorithm: self.config.algorithm,
             frames,
             recall: self.recall.recall(),
@@ -469,7 +524,8 @@ impl<'a> Pipeline<'a> {
             overhead_mean: self.overhead.mean(),
             stats: self.stats,
             degradation: self.degradation,
-        }
+        };
+        (result, self.tracer.map(TraceRecorder::finish))
     }
 
     /// Advances the fault schedule at a key frame: draws this horizon's
@@ -487,6 +543,13 @@ impl<'a> Pipeline<'a> {
             w.track_global.clear();
             w.mask = None;
             w.history.clear();
+        }
+        if let Some(t) = &mut self.tracer {
+            t.coordinator().span(
+                Stage::Fault,
+                0.0,
+                events.dropped.len() + events.rejoined.len(),
+            );
         }
     }
 
@@ -568,9 +631,15 @@ impl<'a> Pipeline<'a> {
             if !alive[w.index] {
                 return (0.0, Vec::new());
             }
-            let dets = w.detector.detect_full_frame(&views[w.index], &mut w.rng);
+            let full_ms = w.profile.full_frame_ms();
+            let dets = w.detector.detect_full_frame_traced(
+                &views[w.index],
+                &mut w.rng,
+                full_ms,
+                w.trace.as_mut(),
+            );
             let ids: Vec<u64> = dets.iter().filter_map(|d| d.truth_id).collect();
-            (w.profile.full_frame_ms(), ids)
+            (full_ms, ids)
         });
         let m = outs.len();
         let mut latency = Vec::with_capacity(m);
@@ -596,8 +665,14 @@ impl<'a> Pipeline<'a> {
             if !alive[w.index] {
                 return (Vec::new(), 0.0);
             }
-            let dets = w.detector.detect_full_frame(&views[w.index], &mut w.rng);
-            (dets, w.profile.full_frame_ms())
+            let full_ms = w.profile.full_frame_ms();
+            let dets = w.detector.detect_full_frame_traced(
+                &views[w.index],
+                &mut w.rng,
+                full_ms,
+                w.trace.as_mut(),
+            );
+            (dets, full_ms)
         });
         let mut detected = HashSet::new();
         let mut latency = Vec::with_capacity(m);
@@ -792,7 +867,11 @@ impl<'a> Pipeline<'a> {
                     // … and solve on the synced sub-problem when degraded,
                     // lifting owners and priority back to deployment ids.
                     if synced_cams.len() == m {
-                        let schedule = mvs_core::extensions::balb_redundant(&problem, redundancy);
+                        let schedule = mvs_core::extensions::balb_redundant_traced(
+                            &problem,
+                            redundancy,
+                            self.tracer.as_mut().map(|t| t.coordinator()),
+                        );
                         self.assignment = (0..globals.len())
                             .map(|g| {
                                 schedule
@@ -808,8 +887,11 @@ impl<'a> Pipeline<'a> {
                         let subset = problem
                             .restrict_to_cameras(&synced_cams)
                             .expect("at least one synced camera");
-                        let schedule =
-                            mvs_core::extensions::balb_redundant(&subset.problem, redundancy);
+                        let schedule = mvs_core::extensions::balb_redundant_traced(
+                            &subset.problem,
+                            redundancy,
+                            self.tracer.as_mut().map(|t| t.coordinator()),
+                        );
                         self.assignment = vec![Vec::new(); globals.len()];
                         for o in subset.problem.objects() {
                             let orig = subset.original_object(o.id);
@@ -832,13 +914,7 @@ impl<'a> Pipeline<'a> {
                                 let id = workers[cam].tracker.seed(d.bbox, d.truth_id);
                                 workers[cam].track_global.insert(id, g);
                             } else if self.config.algorithm == Algorithm::Balb {
-                                workers[cam].shadows.insert(
-                                    g,
-                                    Shadow {
-                                        bbox: d.bbox,
-                                        gone_frames: 0,
-                                    },
-                                );
+                                workers[cam].shadows.insert(g, ShadowTrack::new(d.bbox));
                             }
                         }
                     }
@@ -917,6 +993,13 @@ impl<'a> Pipeline<'a> {
                     .fold(0.0, f64::max);
                 self.central_per_frame_ms =
                     (compute_ms + uplink_phase + downlink_phase) / self.config.horizon as f64;
+                if let Some(t) = &mut self.tracer {
+                    t.coordinator().span(
+                        Stage::Sync,
+                        uplink_phase + downlink_phase,
+                        synced_cams.len(),
+                    );
+                }
             }
             Algorithm::Full => unreachable!("handled by full_frame"),
         }
@@ -998,6 +1081,12 @@ impl<'a> Pipeline<'a> {
                         }
                     });
                 }
+                span_into(
+                    w.trace.as_mut(),
+                    Stage::Flow,
+                    overhead.flow_base_ms,
+                    w.tracker.tracks().len(),
+                );
 
                 // 2. Distributed stage (measured): takeover scan against
                 // the frame-start assignment snapshot.
@@ -1007,33 +1096,32 @@ impl<'a> Pipeline<'a> {
                 // skips the takeover scan; its shadows are empty anyway.
                 if let (Algorithm::Balb, Some(mask)) = (algorithm, w.mask.as_ref()) {
                     let trained = trained.expect("trained");
-                    for (&g, shadow) in w.shadows.iter_mut() {
-                        let owners = &assignment[g];
-                        if owners.contains(&i) {
-                            continue;
-                        }
-                        // The object has left *every* assigned camera's
-                        // view (per the synchronized pair models); require
-                        // the verdict to persist so one noisy classifier
-                        // answer does not steal a still-tracked object. If
-                        // this camera owns the cell where the object now
-                        // is, it takes over.
-                        let gone_everywhere = owners
-                            .iter()
-                            .all(|&owner| trained.map_box(i, owner, &shadow.bbox).is_none());
-                        if gone_everywhere {
-                            shadow.gone_frames += 1;
-                        } else {
-                            shadow.gone_frames = 0;
-                        }
-                        if shadow.gone_frames >= TAKEOVER_HYSTERESIS
-                            && mask.is_responsible_for(&shadow.bbox)
-                        {
-                            takeover_seeds.push((g, shadow.bbox));
-                        }
-                    }
+                    // The object has left *every* assigned camera's view
+                    // (per the synchronized pair models); require the
+                    // verdict to persist so one noisy classifier answer
+                    // does not steal a still-tracked object. If this
+                    // camera owns the cell where the object now is, it
+                    // takes over.
+                    takeover_seeds = scan_takeovers(
+                        &mut w.shadows,
+                        TAKEOVER_HYSTERESIS,
+                        |g, bbox| {
+                            let owners = &assignment[g];
+                            if owners.contains(&i) {
+                                ShadowVerdict::OwnedHere
+                            } else if owners
+                                .iter()
+                                .all(|&owner| trained.map_box(i, owner, bbox).is_none())
+                            {
+                                ShadowVerdict::Gone
+                            } else {
+                                ShadowVerdict::Visible
+                            }
+                        },
+                        |bbox| mask.is_responsible_for(bbox),
+                        w.trace.as_mut(),
+                    );
                     for (g, bbox) in &takeover_seeds {
-                        w.shadows.remove(g);
                         let id = w.tracker.seed(*bbox, None);
                         w.track_global.insert(id, *g);
                     }
@@ -1042,7 +1130,8 @@ impl<'a> Pipeline<'a> {
                     distributed_started.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
 
                 // 3. Slice regions for live tracks.
-                let mut tasks: Vec<RegionTask> = slice_regions(w.tracker.tracks(), frame_dims);
+                let mut tasks: Vec<RegionTask> =
+                    slice_regions_traced(w.tracker.tracks(), frame_dims, w.trace.as_mut());
 
                 // 4. New-region probing.
                 let mut probes = 0;
@@ -1098,7 +1187,11 @@ impl<'a> Pipeline<'a> {
                 // 5. Run the (simulated) DNN on every crop; batching
                 // decides the latency.
                 let counts = SizeCounts::from_sizes(tasks.iter().map(|t| t.size));
-                let latency_ms = counts.latency_ms(&w.profile);
+                let batches: usize = counts.batches(&w.profile).iter().sum();
+                let batching_ms = overhead.batch_per_crop_ms * tasks.len() as f64
+                    + overhead.batch_per_batch_ms * batches as f64;
+                let latency_ms =
+                    counts.latency_ms_traced(&w.profile, batching_ms, w.trace.as_mut());
                 let mut detections: Vec<Detection> = Vec::new();
                 for task in &tasks {
                     detections.extend(w.detector.detect_region(
@@ -1134,7 +1227,12 @@ impl<'a> Pipeline<'a> {
                     } else {
                         0
                     };
-                let batches: usize = counts.batches(&w.profile).iter().sum();
+                span_into(
+                    w.trace.as_mut(),
+                    Stage::Track,
+                    overhead.tracking_per_object_ms * tracked as f64,
+                    tracked,
+                );
                 RegularOutput {
                     latency_ms,
                     detected,
@@ -1145,8 +1243,7 @@ impl<'a> Pipeline<'a> {
                         tracking_ms: overhead.flow_base_ms
                             + overhead.tracking_per_object_ms * tracked as f64,
                         distributed_ms,
-                        batching_ms: overhead.batch_per_crop_ms * tasks.len() as f64
-                            + overhead.batch_per_batch_ms * batches as f64,
+                        batching_ms,
                     },
                 }
             })
@@ -1256,6 +1353,38 @@ mod tests {
                 .collect();
             assert_eq!(runs[0], runs[1], "{algorithm}: 1 vs 2 threads");
             assert_eq!(runs[0], runs[2], "{algorithm}: 1 vs 7 threads");
+        }
+    }
+
+    #[test]
+    fn tracing_changes_nothing_and_spans_are_thread_invariant() {
+        let sc = Scenario::new(ScenarioKind::S2);
+        let mut base = quick_config(Algorithm::Balb);
+        base.measured_overheads = false;
+        let untraced = run_pipeline(&sc, &base);
+        let traces: Vec<Trace> = [1usize, 2, 5]
+            .iter()
+            .map(|&threads| {
+                let cfg = PipelineConfig {
+                    threads,
+                    ..base.clone()
+                };
+                let (result, trace) = run_pipeline_traced(&sc, &cfg);
+                // Recording spans must not perturb the simulation.
+                assert_eq!(
+                    result, untraced,
+                    "traced result drifted at {threads} threads"
+                );
+                trace
+            })
+            .collect();
+        assert!(!traces[0].is_empty());
+        assert_eq!(traces[0].records(), traces[1].records(), "1 vs 2 threads");
+        assert_eq!(traces[0].records(), traces[2].records(), "1 vs 5 threads");
+        // Every stage of the pipeline shows up in a full BALB run.
+        let stats = traces[0].stage_stats();
+        for stage in [Stage::Central, Stage::Sync, Stage::Flow, Stage::Detect] {
+            assert!(stats.contains_key(&stage), "missing {stage:?} spans");
         }
     }
 

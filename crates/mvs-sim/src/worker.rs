@@ -13,21 +13,13 @@
 //! camera-index order, so results are bitwise identical at any thread
 //! count — including one.
 
-use mvs_core::CameraMask;
-use mvs_geometry::{BBox, FrameDims};
+use mvs_core::{CameraMask, ShadowTrack};
+use mvs_geometry::FrameDims;
+use mvs_trace::TraceBuf;
 use mvs_vision::{FlowTracker, GroundTruthObject, LatencyProfile, SimulatedDetector, TrackId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-
-/// A shadow of an object assigned to another camera: this camera's own
-/// flow-updated estimate of where it is, plus how many consecutive frames
-/// the cross-camera models have said it is gone from its assigned camera.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Shadow {
-    pub bbox: BBox,
-    pub gone_frames: u32,
-}
 
 /// Everything one camera mutates during a frame. Sending a `&mut
 /// CameraWorker` to a pool thread is safe because no field is shared.
@@ -54,13 +46,17 @@ pub(crate) struct CameraWorker {
     /// Shadow boxes of objects visible here but assigned elsewhere, keyed
     /// by global index (full BALB only). Ordered so takeover scans are
     /// deterministic.
-    pub shadows: BTreeMap<usize, Shadow>,
+    pub shadows: BTreeMap<usize, ShadowTrack>,
     /// Global index of each seeded track.
     pub track_global: HashMap<TrackId, usize>,
     /// Distributed-stage mask for the current horizon (full BALB only).
     pub mask: Option<CameraMask>,
     /// SP's fixed speed-priority mask (static for the whole run).
     pub static_mask: Option<CameraMask>,
+    /// Span buffer for this camera's lane, populated on the pool thread and
+    /// drained by the coordinator per frame. `None` (the default) disables
+    /// tracing with zero hot-path cost.
+    pub trace: Option<TraceBuf>,
 }
 
 impl CameraWorker {
@@ -145,6 +141,7 @@ mod tests {
             track_global: HashMap::new(),
             mask: None,
             static_mask: None,
+            trace: None,
         }
     }
 

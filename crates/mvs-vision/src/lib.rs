@@ -36,5 +36,5 @@ pub use detector::{Detection, DetectionModel, GroundTruthObject, SimulatedDetect
 pub use latency::{DeviceKind, LatencyProfile, SizeProfile};
 pub use new_region::find_new_regions;
 pub use optical_flow::{FlowField, FlowVector};
-pub use slicing::{slice_regions, RegionTask};
+pub use slicing::{slice_regions, slice_regions_traced, RegionTask};
 pub use tracker::{FlowTracker, Track, TrackId, TrackerConfig};

@@ -7,6 +7,7 @@
 
 use crate::{Track, TrackId};
 use mvs_geometry::{BBox, FrameDims, SizeClass};
+use mvs_trace::{span_into, Stage, TraceBuf};
 use serde::{Deserialize, Serialize};
 
 /// One partial-frame inspection task.
@@ -72,6 +73,21 @@ pub fn slice_regions(tracks: &[Track], frame: FrameDims) -> Vec<RegionTask> {
             })
         })
         .collect()
+}
+
+/// Traced variant of [`slice_regions`]: additionally records a
+/// [`Stage::Slice`] span whose item count is the number of crops produced.
+/// Slicing itself is pure geometry with negligible modeled cost, so the
+/// span's duration is zero — it exists to witness the crop count and stage
+/// order in golden traces.
+pub fn slice_regions_traced(
+    tracks: &[Track],
+    frame: FrameDims,
+    trace: Option<&mut TraceBuf>,
+) -> Vec<RegionTask> {
+    let tasks = slice_regions(tracks, frame);
+    span_into(trace, Stage::Slice, 0.0, tasks.len());
+    tasks
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 //! | [`core`] | `mvs-core` | the MVS problem, BALB, baselines, exact solver |
 //! | [`sim`] | `mvs-sim` | scenarios S1–S3, world, network, end-to-end pipeline |
 //! | [`metrics`] | `mvs-metrics` | recall, latency series, overhead breakdowns |
+//! | [`trace`] | `mvs-trace` | per-stage spans, Prometheus/Chrome/golden exports |
 //!
 //! # Quickstart
 //!
@@ -57,4 +58,5 @@ pub use mvs_geometry as geometry;
 pub use mvs_metrics as metrics;
 pub use mvs_ml as ml;
 pub use mvs_sim as sim;
+pub use mvs_trace as trace;
 pub use mvs_vision as vision;

@@ -8,10 +8,13 @@
 //!
 //! Algorithms: `full`, `balb`, `balb-ind`, `balb-cen`, `sp`, `sp-oracle`.
 //! Options: `--horizon N`, `--train-s S`, `--eval-s S`, `--seed N`,
-//! `--redundancy N`, `--no-batching`, `--threads N`.
+//! `--redundancy N`, `--no-batching`, `--threads N`, `--trace DIR`.
 
 use multiview_scheduler::metrics::{sparkline_fit, TextTable};
-use multiview_scheduler::sim::{run_pipeline, Algorithm, PipelineConfig, Scenario};
+use multiview_scheduler::sim::{
+    run_pipeline, run_pipeline_traced, Algorithm, PipelineConfig, Scenario,
+};
+use multiview_scheduler::trace::Trace;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::process::ExitCode;
@@ -59,6 +62,9 @@ mod cli {
         pub redundancy: usize,
         pub disable_batching: bool,
         pub threads: usize,
+        /// When set, record per-stage spans and write the trace exports
+        /// (Chrome JSON, Prometheus text, golden text) into this directory.
+        pub trace_dir: Option<String>,
     }
 
     impl Default for Options {
@@ -71,6 +77,7 @@ mod cli {
                 redundancy: 1,
                 disable_batching: false,
                 threads: 0,
+                trace_dir: None,
             }
         }
     }
@@ -173,6 +180,7 @@ mod cli {
                     }
                 }
                 "--no-batching" => options.disable_batching = true,
+                "--trace" => options.trace_dir = Some(value("--trace")?),
                 "--threads" => {
                     options.threads = value("--threads")?
                         .parse()
@@ -235,6 +243,17 @@ mod cli {
                     assert_eq!(options.redundancy, 2);
                     assert!(options.disable_batching);
                     assert_eq!(options.threads, 4);
+                    assert_eq!(options.trace_dir, None);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn parses_trace_flag() {
+            match parse(&args("run s2 balb --trace results/trace")).unwrap() {
+                Command::Run { options, .. } => {
+                    assert_eq!(options.trace_dir.as_deref(), Some("results/trace"));
                 }
                 other => panic!("unexpected {other:?}"),
             }
@@ -248,6 +267,7 @@ mod cli {
             assert!(parse(&args("run s1 balb --horizon")).is_err());
             assert!(parse(&args("frobnicate")).is_err());
             assert!(parse(&args("run s1 balb --redundancy 0")).is_err());
+            assert!(parse(&args("run s1 balb --trace")).is_err());
         }
 
         #[test]
@@ -299,7 +319,48 @@ OPTIONS:
     --threads N       camera worker threads; 0 = auto (default 0):
                       MVS_THREADS env, else available CPU parallelism.
                       Results are identical at any thread count.
+    --trace DIR       record per-stage spans (sim-clock, deterministic) and
+                      write DIR/trace.chrome.json (chrome://tracing),
+                      DIR/stages.prom (Prometheus text), DIR/trace.golden.txt
+                      (golden format), plus a per-stage latency table.
 ";
+
+/// Prints the per-stage latency table and writes the three trace exports.
+fn report_trace(trace: &Trace, dir: &str) -> std::io::Result<()> {
+    let stats = trace.stage_stats();
+    let total_ms = trace.total_modeled_ms().max(f64::MIN_POSITIVE);
+    let mut table = TextTable::new(vec![
+        "stage",
+        "spans",
+        "items",
+        "p50 (ms)",
+        "p99 (ms)",
+        "total (ms)",
+        "share",
+    ]);
+    for (stage, s) in &stats {
+        table.row(vec![
+            stage.name().to_string(),
+            s.summary.count.to_string(),
+            s.items.to_string(),
+            format!("{:.2}", s.summary.p50),
+            format!("{:.2}", s.summary.p99),
+            format!("{:.1}", s.total_ms),
+            format!("{:.1}%", 100.0 * s.total_ms / total_ms),
+        ]);
+    }
+    println!(
+        "\nper-stage modeled latency ({} spans)\n\n{table}",
+        trace.len()
+    );
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir);
+    std::fs::write(path.join("trace.chrome.json"), trace.chrome_trace_json())?;
+    std::fs::write(path.join("stages.prom"), trace.prometheus_text())?;
+    std::fs::write(path.join("trace.golden.txt"), trace.golden_text())?;
+    println!("trace exports written to {dir}/");
+    Ok(())
+}
 
 fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
     PipelineConfig {
@@ -335,7 +396,14 @@ fn main() -> ExitCode {
                 "running {algorithm} on {scenario} ({} cameras)…",
                 sc.num_cameras()
             );
-            let result = run_pipeline(&sc, &config_from(algorithm, &options));
+            let config = config_from(algorithm, &options);
+            let (result, trace) = match &options.trace_dir {
+                Some(_) => {
+                    let (r, t) = run_pipeline_traced(&sc, &config);
+                    (r, Some(t))
+                }
+                None => (run_pipeline(&sc, &config), None),
+            };
             println!("  frames evaluated : {}", result.frames);
             println!("  object recall    : {:.3}", result.recall);
             println!("  mean latency     : {:.1} ms", result.mean_latency_ms);
@@ -356,6 +424,12 @@ fn main() -> ExitCode {
                 "  overheads        : central {:.2} ms, tracking {:.2} ms, distributed {:.3} ms, batching {:.2} ms",
                 oh.central_ms, oh.tracking_ms, oh.distributed_ms, oh.batching_ms
             );
+            if let (Some(dir), Some(trace)) = (&options.trace_dir, &trace) {
+                if let Err(e) = report_trace(trace, dir) {
+                    eprintln!("error: writing trace exports to {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         cli::Command::Compare { scenario, options } => {
             let sc = Scenario::new(scenario);
