@@ -1,0 +1,626 @@
+//! Perf-trajectory artifact: steady-state frame-loop time and
+//! allocations-per-frame, cold vs. warm, written to
+//! `results/BENCH_hotpath.json`.
+//!
+//! The kernel is the per-frame steady-state work of an S2-style two-camera
+//! deployment (Xavier + Nano): the four per-camera vision stages (optical
+//! flow, slicing, predicted-box collection, new-region detection) followed
+//! by rescheduling against a frame-over-frame [`ProblemDelta`]. Two arms
+//! run the identical frame sequence with identical RNG streams:
+//!
+//! * **cold** — the pre-warm-start path: allocating vision calls
+//!   ([`FlowField::estimate`], [`slice_regions`], a fresh predicted `Vec`,
+//!   [`find_new_regions`]) and a full rebuild-and-resolve of the scheduling
+//!   instance ([`MvsProblem::new`] over cloned cameras/objects +
+//!   [`balb_central`]) every frame.
+//! * **warm** — the steady-state path this repo ships: `_into` vision
+//!   variants over per-camera scratch buffers and
+//!   [`BalbSolver::apply_delta`] repairing the previous schedule in place.
+//!
+//! A verification pass runs first and asserts the two arms produce
+//! bitwise-identical schedules and identical vision outputs on every frame;
+//! only then are the arms timed. With `--features bench-alloc` the bin
+//! installs a counting global allocator and also reports
+//! allocations-per-frame for each arm (without the feature the alloc
+//! fields are `null`).
+//!
+//! `--check <baseline.json>` re-reads a checked-in baseline report and
+//! exits nonzero if the steady-state win regressed: the cold/warm speedup
+//! ratio fell more than 15% below the baseline's, or (when both reports
+//! carry alloc counts) warm allocations-per-frame grew more than 15%.
+//! Comparing ratios rather than absolute times keeps the check portable
+//! across CI machines.
+//!
+//! Run with
+//! `cargo run --release -p mvs-bench --features bench-alloc --bin bench_hotpath`.
+
+use mvs_bench::{write_json, SEED};
+use mvs_core::{
+    balb_central, BalbSolver, CameraId, CameraInfo, MvsProblem, ObjectId, ProblemDelta,
+};
+use mvs_geometry::{BBox, FrameDims, SizeClass};
+use mvs_metrics::TextTable;
+use mvs_vision::{
+    find_new_regions, find_new_regions_into, slice_regions, slice_regions_into, DeviceKind,
+    FlowField, GroundTruthObject, LatencyProfile, RegionTask, Track, TrackId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[cfg(feature = "bench-alloc")]
+mod counting_alloc {
+    //! A pass-through global allocator that counts allocation events.
+    //! Lives in the bench bin only — the library crates stay
+    //! `forbid(unsafe_code)`-clean.
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every operation to `System`; the counter is a relaxed
+    // atomic with no effect on the returned memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+}
+
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static GLOBAL: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+/// Current allocation-event count, when the counting allocator is in.
+fn alloc_events() -> Option<u64> {
+    #[cfg(feature = "bench-alloc")]
+    {
+        Some(counting_alloc::ALLOCS.load(std::sync::atomic::Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        None
+    }
+}
+
+/// Cameras in the deployment (S2: one Xavier, one Nano).
+const M: usize = 2;
+/// Stable coverage-1 objects occupying the scheduling-order prefix.
+const BASE_OBJECTS: usize = 40;
+/// Full-coverage churn objects at the order tail (enter/move/leave).
+const CHURN_OBJECTS: usize = 8;
+/// Ground-truth objects each camera sees (vision-stage workload).
+const VIEW_OBJECTS: usize = 24;
+/// Frames run before the timer starts (fills scratch high-water marks).
+const WARMUP_FRAMES: usize = 200;
+/// Frames in the measured steady-state window.
+const MEASURED_FRAMES: usize = 2000;
+/// Timed repetitions per arm; the reported time is the minimum (the
+/// standard noise-robust estimator — scheduler interference only ever
+/// adds time). Arms are interleaved so drift hits both equally.
+const REPS: usize = 5;
+/// Optical-flow estimation noise (matches the pipeline's default scale).
+const NOISE_PX: f64 = 1.5;
+
+/// Pre-generated deterministic workload shared by both arms.
+struct Workload {
+    /// `[frame][camera]` ground-truth views (frame 0's previous view is
+    /// empty, as at a horizon start).
+    views: Vec<Vec<Vec<GroundTruthObject>>>,
+    /// `[frame][camera]` current track lists (slicing input).
+    tracks: Vec<Vec<Vec<Track>>>,
+    /// Per-frame scheduling edit scripts (tail churn only).
+    deltas: Vec<ProblemDelta>,
+    /// The frame-0 scheduling instance.
+    initial: MvsProblem,
+    frame: FrameDims,
+}
+
+impl Workload {
+    fn generate(frames: usize) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+        let frame = FrameDims::REGULAR;
+
+        // Scheduling instance: coverage-1 base objects (they sort first,
+        // so the order prefix survives tail churn) plus full-coverage
+        // churn objects (they sort last).
+        let cameras = vec![
+            CameraInfo {
+                id: CameraId(0),
+                profile: LatencyProfile::for_device(DeviceKind::Xavier),
+            },
+            CameraInfo {
+                id: CameraId(1),
+                profile: LatencyProfile::for_device(DeviceKind::Nano),
+            },
+        ];
+        let base_sizes = [SizeClass::S128, SizeClass::S256, SizeClass::S512];
+        let churn_map = |rng: &mut ChaCha8Rng| {
+            let tail = if rng.gen_bool(0.5) {
+                SizeClass::S64
+            } else {
+                SizeClass::S128
+            };
+            [(CameraId(0), SizeClass::S64), (CameraId(1), tail)]
+                .into_iter()
+                .collect()
+        };
+        let mut objects = Vec::new();
+        for j in 0..BASE_OBJECTS {
+            let cam = CameraId(j % M);
+            let size = base_sizes[rng.gen_range(0..base_sizes.len())];
+            objects.push([(cam, size)].into_iter().collect());
+        }
+        for _ in 0..CHURN_OBJECTS {
+            objects.push(churn_map(&mut rng));
+        }
+        let initial = MvsProblem::new(
+            cameras,
+            objects
+                .into_iter()
+                .enumerate()
+                .map(|(j, sizes)| mvs_core::ObjectInfo {
+                    id: ObjectId(j),
+                    sizes,
+                })
+                .collect(),
+        )
+        .expect("synthetic instance is valid");
+
+        // Per-frame deltas: one churn object leaves, one enters, one moves
+        // to a fresh size map — all at the order tail, so the warm solver
+        // replays the whole base prefix every frame.
+        let mut mirror = initial.clone();
+        let mut deltas = Vec::with_capacity(frames);
+        for _ in 0..frames {
+            let slots: Vec<usize> = (BASE_OBJECTS..mirror.num_objects()).collect();
+            let leave = slots[rng.gen_range(0..slots.len())];
+            let moved = loop {
+                let s = slots[rng.gen_range(0..slots.len())];
+                if s != leave {
+                    break s;
+                }
+            };
+            let delta = ProblemDelta {
+                left: vec![ObjectId(leave)],
+                moved: vec![(ObjectId(moved), churn_map(&mut rng))],
+                entered: vec![churn_map(&mut rng)],
+            };
+            delta.apply(&mut mirror).expect("generated delta is valid");
+            deltas.push(delta);
+        }
+
+        // Vision workload: per camera, a fixed population of objects
+        // drifting horizontally with wraparound. Tracks mirror the views
+        // one frame behind (as the tracker would predict them).
+        let mut views = Vec::with_capacity(frames);
+        let mut tracks = Vec::with_capacity(frames);
+        // `(id, x0, y0, side, vx)` per object.
+        type ObjectSpec = (u64, f64, f64, f64, f64);
+        let spec: Vec<Vec<ObjectSpec>> = (0..M)
+            .map(|cam| {
+                (0..VIEW_OBJECTS)
+                    .map(|k| {
+                        let id = (cam * 1000 + k) as u64;
+                        let x0 = rng.gen_range(0.0..frame.width as f64 - 140.0);
+                        let y0 = rng.gen_range(0.0..frame.height as f64 - 140.0);
+                        let side = rng.gen_range(40.0..130.0);
+                        let vx = rng.gen_range(-4.0..4.0);
+                        (id, x0, y0, side, vx)
+                    })
+                    .collect()
+            })
+            .collect();
+        let view_at = |cam: usize, f: usize| -> Vec<GroundTruthObject> {
+            spec[cam]
+                .iter()
+                .map(|&(id, x0, y0, side, vx)| {
+                    let span = frame.width as f64 - side;
+                    let x = (x0 + vx * f as f64).rem_euclid(span);
+                    GroundTruthObject {
+                        id,
+                        bbox: BBox::new(x, y0, x + side, y0 + side)
+                            .expect("positive extent by construction"),
+                    }
+                })
+                .collect()
+        };
+        for f in 0..frames {
+            views.push((0..M).map(|cam| view_at(cam, f)).collect::<Vec<_>>());
+            tracks.push(
+                (0..M)
+                    .map(|cam| {
+                        view_at(cam, f.saturating_sub(1))
+                            .into_iter()
+                            .map(|o| Track {
+                                id: TrackId(o.id),
+                                bbox: o.bbox,
+                                size: SizeClass::quantize(o.bbox.width(), o.bbox.height()),
+                                age: 1,
+                                misses: 0,
+                                last_truth: Some(o.id),
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+
+        Workload {
+            views,
+            tracks,
+            deltas,
+            initial,
+            frame,
+        }
+    }
+
+    fn prev_view(&self, f: usize, cam: usize) -> &[GroundTruthObject] {
+        if f == 0 {
+            &[]
+        } else {
+            &self.views[f - 1][cam]
+        }
+    }
+}
+
+/// Folds a schedule and the vision outputs into a checksum: keeps the
+/// optimizer from discarding the work and lets the timed arms cross-check
+/// without storing per-frame outputs.
+fn fold(
+    acc: &mut u64,
+    latencies: &[f64],
+    priority: &[CameraId],
+    tasks_len: usize,
+    fresh_len: usize,
+) {
+    for &l in latencies {
+        *acc = acc.rotate_left(7) ^ l.to_bits();
+    }
+    for &c in priority {
+        *acc = acc.rotate_left(3) ^ c.0 as u64;
+    }
+    *acc = acc.rotate_left(5) ^ (tasks_len as u64) ^ ((fresh_len as u64) << 32);
+}
+
+/// Per-camera scratch for the warm arm (the bin-local analogue of the
+/// pipeline's `FrameScratch`).
+#[derive(Default)]
+struct Scratch {
+    flow: FlowField,
+    tasks: Vec<RegionTask>,
+    predicted: Vec<BBox>,
+    fresh: Vec<BBox>,
+}
+
+/// One cold frame: allocating vision calls + rebuild-and-resolve.
+fn cold_frame(
+    w: &Workload,
+    f: usize,
+    rng: &mut ChaCha8Rng,
+    mirror: &mut MvsProblem,
+    acc: &mut u64,
+) {
+    let mut vision: u64 = 0;
+    for cam in 0..M {
+        let flow = FlowField::estimate(w.prev_view(f, cam), &w.views[f][cam], NOISE_PX, rng);
+        let tasks = slice_regions(&w.tracks[f][cam], w.frame);
+        let predicted: Vec<BBox> = w.tracks[f][cam].iter().map(|t| t.bbox).collect();
+        let fresh = find_new_regions(flow.moving_clusters(), &predicted, 0.5);
+        vision ^= ((tasks.len() as u64) << (cam * 16)) ^ ((fresh.len() as u64) << (cam * 16 + 8));
+    }
+    w.deltas[f].apply(mirror).expect("delta is valid");
+    let problem = MvsProblem::new(mirror.cameras().to_vec(), mirror.objects().to_vec())
+        .expect("mirror instance stays valid");
+    let schedule = balb_central(&problem);
+    fold(
+        acc,
+        &schedule.camera_latencies_ms,
+        &schedule.priority,
+        (vision & 0xffff) as usize,
+        ((vision >> 8) & 0xffff) as usize,
+    );
+}
+
+/// One warm frame: `_into` vision over scratch + in-place schedule repair.
+fn warm_frame(
+    w: &Workload,
+    f: usize,
+    rng: &mut ChaCha8Rng,
+    solver: &mut BalbSolver,
+    scratch: &mut [Scratch],
+    acc: &mut u64,
+) {
+    let mut vision: u64 = 0;
+    for (cam, s) in scratch.iter_mut().enumerate() {
+        s.flow
+            .estimate_into(w.prev_view(f, cam), &w.views[f][cam], NOISE_PX, rng);
+        slice_regions_into(&w.tracks[f][cam], w.frame, &mut s.tasks);
+        s.predicted.clear();
+        s.predicted.extend(w.tracks[f][cam].iter().map(|t| t.bbox));
+        find_new_regions_into(s.flow.moving_clusters(), &s.predicted, 0.5, &mut s.fresh);
+        vision ^=
+            ((s.tasks.len() as u64) << (cam * 16)) ^ ((s.fresh.len() as u64) << (cam * 16 + 8));
+    }
+    let schedule = solver.apply_delta(&w.deltas[f]).expect("delta is valid");
+    fold(
+        acc,
+        &schedule.camera_latencies_ms,
+        &schedule.priority,
+        (vision & 0xffff) as usize,
+        ((vision >> 8) & 0xffff) as usize,
+    );
+}
+
+/// Runs both arms frame-by-frame and asserts bitwise-identical outputs
+/// (schedule latencies via `f64::to_bits`, assignments, priorities, task
+/// and fresh-region lists) before any timing happens.
+fn verify(w: &Workload, frames: usize) {
+    let mut cold_rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x5eed);
+    let mut warm_rng = cold_rng.clone();
+    let mut mirror = w.initial.clone();
+    let mut solver = BalbSolver::new();
+    solver.solve(&w.initial);
+    let cold0 = balb_central(&w.initial);
+    assert_eq!(cold0, *solver.schedule(), "initial solves disagree");
+
+    let mut scratch: Vec<Scratch> = (0..M).map(|_| Scratch::default()).collect();
+    for f in 0..frames {
+        // Vision stages, both ways.
+        for (cam, s) in scratch.iter_mut().enumerate() {
+            let flow = FlowField::estimate(
+                w.prev_view(f, cam),
+                &w.views[f][cam],
+                NOISE_PX,
+                &mut cold_rng,
+            );
+            s.flow.estimate_into(
+                w.prev_view(f, cam),
+                &w.views[f][cam],
+                NOISE_PX,
+                &mut warm_rng,
+            );
+            let tasks = slice_regions(&w.tracks[f][cam], w.frame);
+            slice_regions_into(&w.tracks[f][cam], w.frame, &mut s.tasks);
+            assert_eq!(tasks, s.tasks, "frame {f} cam {cam}: tasks diverge");
+            let predicted: Vec<BBox> = w.tracks[f][cam].iter().map(|t| t.bbox).collect();
+            s.predicted.clear();
+            s.predicted.extend(w.tracks[f][cam].iter().map(|t| t.bbox));
+            let fresh = find_new_regions(flow.moving_clusters(), &predicted, 0.5);
+            find_new_regions_into(s.flow.moving_clusters(), &s.predicted, 0.5, &mut s.fresh);
+            assert_eq!(fresh, s.fresh, "frame {f} cam {cam}: fresh regions diverge");
+        }
+        // Scheduling, both ways.
+        w.deltas[f].apply(&mut mirror).expect("delta is valid");
+        let problem = MvsProblem::new(mirror.cameras().to_vec(), mirror.objects().to_vec())
+            .expect("mirror instance stays valid");
+        let cold = balb_central(&problem);
+        let warm = solver.apply_delta(&w.deltas[f]).expect("delta is valid");
+        assert_eq!(cold.assignment, warm.assignment, "frame {f}: assignment");
+        assert_eq!(cold.priority, warm.priority, "frame {f}: priority");
+        let cold_bits: Vec<u64> = cold
+            .camera_latencies_ms
+            .iter()
+            .map(|l| l.to_bits())
+            .collect();
+        let warm_bits: Vec<u64> = warm
+            .camera_latencies_ms
+            .iter()
+            .map(|l| l.to_bits())
+            .collect();
+        assert_eq!(cold_bits, warm_bits, "frame {f}: latency bits");
+    }
+    assert!(
+        solver.stats().warm_solves > 0,
+        "workload never exercised the warm path"
+    );
+}
+
+/// Timed + alloc-counted run of one arm over the measured window.
+struct ArmResult {
+    ms_per_frame: f64,
+    allocs_per_frame: Option<f64>,
+    checksum: u64,
+}
+
+fn run_cold(w: &Workload) -> ArmResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x5eed);
+    let mut mirror = w.initial.clone();
+    let mut acc: u64 = 0;
+    for f in 0..WARMUP_FRAMES {
+        cold_frame(w, f, &mut rng, &mut mirror, &mut acc);
+    }
+    acc = 0;
+    let allocs_before = alloc_events();
+    let start = Instant::now();
+    for f in WARMUP_FRAMES..WARMUP_FRAMES + MEASURED_FRAMES {
+        cold_frame(w, f, &mut rng, &mut mirror, &mut acc);
+    }
+    let elapsed = start.elapsed();
+    let allocs = alloc_events().zip(allocs_before).map(|(a, b)| a - b);
+    ArmResult {
+        ms_per_frame: elapsed.as_secs_f64() * 1e3 / MEASURED_FRAMES as f64,
+        allocs_per_frame: allocs.map(|a| a as f64 / MEASURED_FRAMES as f64),
+        checksum: acc,
+    }
+}
+
+fn run_warm(w: &Workload) -> ArmResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x5eed);
+    let mut solver = BalbSolver::new();
+    solver.solve(&w.initial);
+    let mut scratch: Vec<Scratch> = (0..M).map(|_| Scratch::default()).collect();
+    let mut acc: u64 = 0;
+    for f in 0..WARMUP_FRAMES {
+        warm_frame(w, f, &mut rng, &mut solver, &mut scratch, &mut acc);
+    }
+    acc = 0;
+    let allocs_before = alloc_events();
+    let start = Instant::now();
+    for f in WARMUP_FRAMES..WARMUP_FRAMES + MEASURED_FRAMES {
+        warm_frame(w, f, &mut rng, &mut solver, &mut scratch, &mut acc);
+    }
+    let elapsed = start.elapsed();
+    let allocs = alloc_events().zip(allocs_before).map(|(a, b)| a - b);
+    ArmResult {
+        ms_per_frame: elapsed.as_secs_f64() * 1e3 / MEASURED_FRAMES as f64,
+        allocs_per_frame: allocs.map(|a| a as f64 / MEASURED_FRAMES as f64),
+        checksum: acc,
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    cameras: usize,
+    base_objects: usize,
+    churn_objects: usize,
+    view_objects: usize,
+    warmup_frames: usize,
+    measured_frames: usize,
+    cold_ms_per_frame: f64,
+    warm_ms_per_frame: f64,
+    /// Cold frame time over warm frame time (higher is better).
+    speedup: f64,
+    cold_allocs_per_frame: Option<f64>,
+    warm_allocs_per_frame: Option<f64>,
+    /// Fraction of cold-arm allocations the warm arm avoids (0..1).
+    alloc_reduction: Option<f64>,
+    warm_solves: u64,
+    cold_solves: u64,
+}
+
+/// `--check` tolerance: fail when the speedup ratio falls more than this
+/// factor below the baseline's (a machine-portable "frame time regressed
+/// by >15%" signal), or warm allocations grow by more than it.
+const CHECK_TOLERANCE: f64 = 1.15;
+
+fn check_against(report: &Report, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: Report =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {baseline_path}: {e}"))?;
+    if report.speedup < baseline.speedup / CHECK_TOLERANCE {
+        return Err(format!(
+            "steady-state regression: cold/warm speedup {:.2}x fell below baseline {:.2}x / {}",
+            report.speedup, baseline.speedup, CHECK_TOLERANCE
+        ));
+    }
+    if let (Some(now), Some(then)) = (report.warm_allocs_per_frame, baseline.warm_allocs_per_frame)
+    {
+        if now > then * CHECK_TOLERANCE {
+            return Err(format!(
+                "allocation regression: warm arm now allocates {now:.1}/frame vs baseline {then:.1}/frame"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--check requires a baseline path");
+                std::process::exit(2);
+            })
+            .clone()
+    });
+
+    let frames = WARMUP_FRAMES + MEASURED_FRAMES;
+    eprintln!("generating workload ({frames} frames)...");
+    let w = Workload::generate(frames);
+    eprintln!("verifying cold and warm arms agree bitwise...");
+    verify(&w, frames);
+    eprintln!("timing {REPS} interleaved repetitions per arm...");
+    let mut cold = run_cold(&w);
+    let mut warm = run_warm(&w);
+    assert_eq!(
+        cold.checksum, warm.checksum,
+        "timed arms diverged after verification"
+    );
+    for _ in 1..REPS {
+        let c = run_cold(&w);
+        let h = run_warm(&w);
+        cold.ms_per_frame = cold.ms_per_frame.min(c.ms_per_frame);
+        warm.ms_per_frame = warm.ms_per_frame.min(h.ms_per_frame);
+    }
+
+    // Solver stats from a fresh warm run over the whole frame sequence
+    // (the timed warm arm's counters mix in the initial cold solve).
+    let stats = {
+        let mut solver = BalbSolver::new();
+        solver.solve(&w.initial);
+        for delta in &w.deltas {
+            solver.apply_delta(delta).expect("delta is valid");
+        }
+        solver.stats()
+    };
+
+    let report = Report {
+        cameras: M,
+        base_objects: BASE_OBJECTS,
+        churn_objects: CHURN_OBJECTS,
+        view_objects: VIEW_OBJECTS,
+        warmup_frames: WARMUP_FRAMES,
+        measured_frames: MEASURED_FRAMES,
+        cold_ms_per_frame: cold.ms_per_frame,
+        warm_ms_per_frame: warm.ms_per_frame,
+        speedup: cold.ms_per_frame / warm.ms_per_frame,
+        cold_allocs_per_frame: cold.allocs_per_frame,
+        warm_allocs_per_frame: warm.allocs_per_frame,
+        alloc_reduction: cold
+            .allocs_per_frame
+            .zip(warm.allocs_per_frame)
+            .map(|(c, h)| 1.0 - h / c),
+        warm_solves: stats.warm_solves,
+        cold_solves: stats.cold_solves,
+    };
+
+    let mut table = TextTable::new(vec!["metric", "cold", "warm"]);
+    table.row(vec![
+        "ms/frame".to_string(),
+        format!("{:.4}", report.cold_ms_per_frame),
+        format!("{:.4}", report.warm_ms_per_frame),
+    ]);
+    table.row(vec![
+        "allocs/frame".to_string(),
+        report
+            .cold_allocs_per_frame
+            .map_or("n/a".into(), |a| format!("{a:.1}")),
+        report
+            .warm_allocs_per_frame
+            .map_or("n/a".into(), |a| format!("{a:.1}")),
+    ]);
+    println!("{table}");
+    println!("speedup: {:.2}x", report.speedup);
+    if let Some(r) = report.alloc_reduction {
+        println!("alloc reduction: {:.1}%", r * 100.0);
+    }
+
+    let path = write_json("BENCH_hotpath", &report);
+    println!("wrote {}", path.display());
+
+    if let Some(baseline_path) = baseline {
+        match check_against(&report, &baseline_path) {
+            Ok(()) => println!("regression check vs {baseline_path}: OK"),
+            Err(msg) => {
+                eprintln!("regression check vs {baseline_path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

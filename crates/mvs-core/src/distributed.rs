@@ -53,14 +53,14 @@ impl DistributedPolicy {
     /// Panics if the order is empty or contains duplicates.
     pub fn new(priority: Vec<CameraId>) -> Self {
         assert!(!priority.is_empty(), "priority order must be non-empty");
-        let mut seen = priority.clone();
-        seen.sort_unstable();
-        seen.dedup();
-        assert_eq!(
-            seen.len(),
-            priority.len(),
-            "priority order must not contain duplicates"
-        );
+        // Priority orders are fleet-sized (a handful of cameras), so a
+        // quadratic scan beats cloning and sorting a scratch copy.
+        for (i, c) in priority.iter().enumerate() {
+            assert!(
+                !priority[..i].contains(c),
+                "priority order must not contain duplicates"
+            );
+        }
         DistributedPolicy { priority }
     }
 
@@ -164,8 +164,8 @@ pub enum ShadowVerdict {
 pub fn scan_takeovers<V, R>(
     shadows: &mut BTreeMap<usize, ShadowTrack>,
     hysteresis: u32,
-    mut verdict: V,
-    mut responsible: R,
+    verdict: V,
+    responsible: R,
     trace: Option<&mut TraceBuf>,
 ) -> Vec<(usize, BBox)>
 where
@@ -173,6 +173,25 @@ where
     R: FnMut(&BBox) -> bool,
 {
     let mut seeds: Vec<(usize, BBox)> = Vec::new();
+    scan_takeovers_into(shadows, hysteresis, verdict, responsible, trace, &mut seeds);
+    seeds
+}
+
+/// Buffer-reusing variant of [`scan_takeovers`]: clears `seeds` and fills
+/// it with this frame's takeovers, so a caller that keeps the buffer
+/// across frames allocates nothing here in steady state.
+pub fn scan_takeovers_into<V, R>(
+    shadows: &mut BTreeMap<usize, ShadowTrack>,
+    hysteresis: u32,
+    mut verdict: V,
+    mut responsible: R,
+    trace: Option<&mut TraceBuf>,
+    seeds: &mut Vec<(usize, BBox)>,
+) where
+    V: FnMut(usize, &BBox) -> ShadowVerdict,
+    R: FnMut(&BBox) -> bool,
+{
+    seeds.clear();
     for (&g, shadow) in shadows.iter_mut() {
         match verdict(g, &shadow.bbox) {
             ShadowVerdict::OwnedHere => continue,
@@ -183,11 +202,10 @@ where
             seeds.push((g, shadow.bbox));
         }
     }
-    for (g, _) in &seeds {
+    for (g, _) in seeds.iter() {
         shadows.remove(g);
     }
     span_into(trace, Stage::Distributed, 0.0, seeds.len());
-    seeds
 }
 
 #[cfg(test)]

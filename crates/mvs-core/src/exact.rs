@@ -173,7 +173,7 @@ pub fn solve(
         exhausted: false,
     };
     let mut counts = vec![SizeCounts::new(); m];
-    let mut lat = base.clone();
+    let mut lat = base;
     let mut choice = Vec::with_capacity(n);
     dfs(&mut ctx, 0, &mut counts, &mut lat, &mut choice);
     if ctx.exhausted {

@@ -57,8 +57,8 @@ pub fn balb_redundant(problem: &MvsProblem, redundancy: usize) -> BalbSchedule {
         return schedule;
     }
     let m = problem.num_cameras();
-    let mut assignment = schedule.assignment.clone();
-    let mut latencies = schedule.camera_latencies_ms.clone();
+    let mut assignment = schedule.assignment;
+    let mut latencies = schedule.camera_latencies_ms;
     let mut counts: Vec<SizeCounts> = vec![SizeCounts::new(); m];
     // Rebuild batch occupancy from the single-owner assignment.
     for object in problem.objects() {
@@ -73,11 +73,15 @@ pub fn balb_redundant(problem: &MvsProblem, redundancy: usize) -> BalbSchedule {
         let ob = &problem.objects()[b];
         ob.coverage_len().cmp(&oa.coverage_len()).then(a.cmp(&b))
     });
+    // Reused candidate-filter buffer: owners are re-read per step because
+    // `assign` below invalidates any borrow of the owner list.
+    let mut owners: Vec<CameraId> = Vec::new();
     for &j in &order {
         let object = &problem.objects()[j];
         while assignment.owners_of(object.id).len() < redundancy.min(object.coverage_len()) {
             // Candidates: covering cameras not yet owners.
-            let owners = assignment.owners_of(object.id).to_vec();
+            owners.clear();
+            owners.extend_from_slice(assignment.owners_of(object.id));
             let candidate = object
                 .coverage()
                 .filter(|c| !owners.contains(c))

@@ -18,6 +18,9 @@
 //!   system latency arithmetic (Definition 1);
 //! * [`balb_central`] — Algorithm 1, the central-stage scheduler run at
 //!   every key frame;
+//! * [`BalbSolver`] — a warm-started incremental re-solver that repairs the
+//!   previous schedule from a [`ProblemDelta`] (bitwise identical to the
+//!   cold solve) while reusing every buffer across frames;
 //! * [`CameraMask`] / [`DistributedPolicy`] — the distributed stage run at
 //!   every regular frame, deciding new-object and takeover responsibility
 //!   from synchronized cell masks without cross-camera communication;
@@ -53,8 +56,12 @@ mod mask;
 mod problem;
 
 pub use assignment::Assignment;
-pub use balb::{balb_central, balb_central_traced, BalbSchedule};
-pub use distributed::{scan_takeovers, DistributedPolicy, ShadowTrack, ShadowVerdict};
+pub use balb::{balb_central, balb_central_traced, BalbSchedule, BalbSolver, SolverStats};
+pub use distributed::{
+    scan_takeovers, scan_takeovers_into, DistributedPolicy, ShadowTrack, ShadowVerdict,
+};
 pub use ids::{CameraId, ObjectId};
 pub use mask::CameraMask;
-pub use problem::{CameraInfo, CameraSubset, MvsProblem, ObjectInfo, ProblemConfig, ProblemError};
+pub use problem::{
+    CameraInfo, CameraSubset, MvsProblem, ObjectInfo, ProblemConfig, ProblemDelta, ProblemError,
+};

@@ -38,25 +38,41 @@ impl CameraMask {
     where
         F: Fn(CameraId, Point2) -> bool,
     {
-        assert!(
-            priority.contains(&camera),
-            "priority order must contain the mask's own camera"
-        );
-        let owners = grid
-            .iter()
-            .map(|cell| {
-                let center = grid.cell_center(cell);
-                *priority
-                    .iter()
-                    .find(|&&c| c == camera || observed_by(c, center))
-                    .expect("own camera always covers its own cells")
-            })
-            .collect();
-        CameraMask {
+        let mut mask = CameraMask {
             camera,
             grid,
-            owners,
-        }
+            owners: Vec::new(),
+        };
+        mask.rebuild(priority, observed_by);
+        mask
+    }
+
+    /// Recomputes the per-cell owners in place for a new `priority` order,
+    /// reusing the owner buffer (and the grid, which is a per-camera
+    /// constant). Key-frame mask refreshes go through this path so the
+    /// steady-state loop allocates nothing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` does not contain the mask's own camera.
+    pub fn rebuild<F>(&mut self, priority: &[CameraId], observed_by: F)
+    where
+        F: Fn(CameraId, Point2) -> bool,
+    {
+        assert!(
+            priority.contains(&self.camera),
+            "priority order must contain the mask's own camera"
+        );
+        let camera = self.camera;
+        let grid = &self.grid;
+        self.owners.clear();
+        self.owners.extend(grid.iter().map(|cell| {
+            let center = grid.cell_center(cell);
+            *priority
+                .iter()
+                .find(|&&c| c == camera || observed_by(c, center))
+                .expect("own camera always covers its own cells")
+        }));
     }
 
     /// Builds a mask from explicitly computed per-cell owners (used by

@@ -125,17 +125,50 @@ impl MaskPrecompute {
     ///
     /// Panics if `camera` is out of range or absent from `priority`.
     pub fn mask_for(&self, camera: usize, priority: &[CameraId]) -> CameraMask {
-        let grid = self.grids[camera].clone();
+        let mut slot = None;
+        self.mask_for_into(camera, priority, &mut slot);
+        slot.expect("mask_for_into fills an empty slot")
+    }
+
+    /// Buffer-reusing variant of [`MaskPrecompute::mask_for`]: when `slot`
+    /// already holds this camera's mask from a previous horizon, its owner
+    /// table is recomputed in place (no grid clone, no allocation); an
+    /// empty slot gets a freshly built mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `camera` is out of range, absent from `priority`, or
+    /// `slot` holds a different camera's mask.
+    pub fn mask_for_into(
+        &self,
+        camera: usize,
+        priority: &[CameraId],
+        slot: &mut Option<CameraMask>,
+    ) {
         let coverage = &self.coverage[camera];
-        CameraMask::build(
-            CameraId(camera),
-            grid.clone(),
-            priority,
-            |c, p| match grid.cell_at(p) {
-                Some(cell) => coverage[cell.0].contains(&c.0),
-                None => false,
-            },
-        )
+        let grid = &self.grids[camera];
+        let observed_by = |c: CameraId, p: Point2| match grid.cell_at(p) {
+            Some(cell) => coverage[cell.0].contains(&c.0),
+            None => false,
+        };
+        match slot {
+            Some(mask) => {
+                assert_eq!(
+                    mask.camera(),
+                    CameraId(camera),
+                    "mask slot belongs to a different camera"
+                );
+                mask.rebuild(priority, observed_by);
+            }
+            None => {
+                *slot = Some(CameraMask::build(
+                    CameraId(camera),
+                    grid.clone(),
+                    priority,
+                    observed_by,
+                ));
+            }
+        }
     }
 
     /// Builds the *static partitioning* masks (one per camera): each

@@ -26,11 +26,11 @@ use crate::masks::{MaskPrecompute, StaticWorldPartition};
 use crate::messages::{AssignmentMessage, ObjectRecord, UploadMessage};
 use crate::network::NetworkModel;
 use crate::scenario::Scenario;
-use crate::worker::{par_map, resolve_threads, CameraWorker};
+use crate::worker::{par_map, resolve_threads, CameraWorker, FrameScratch};
 use crate::world::World;
 use mvs_core::{
-    scan_takeovers, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo, ShadowTrack,
-    ShadowVerdict,
+    scan_takeovers_into, BalbSolver, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo,
+    ShadowTrack, ShadowVerdict,
 };
 use mvs_geometry::{BBox, SizeClass};
 use mvs_metrics::{
@@ -38,7 +38,7 @@ use mvs_metrics::{
 };
 use mvs_trace::{span_into, Stage, Trace, TraceRecorder};
 use mvs_vision::{
-    find_new_regions, slice_regions_traced, Detection, DetectionModel, FlowField, FlowTracker,
+    find_new_regions_into, slice_regions_traced_into, Detection, DetectionModel, FlowTracker,
     GroundTruthObject, LatencyProfile, RegionTask, SimulatedDetector, SizeCounts, TrackerConfig,
 };
 use rand::SeedableRng;
@@ -180,6 +180,15 @@ pub struct PipelineConfig {
     /// [`FaultModel::none`] (the default) makes the run bitwise identical
     /// to the fault-free pipeline.
     pub faults: FaultModel,
+    /// When true (the default), the central stage keeps a persistent
+    /// [`BalbSolver`] that warm-starts each horizon's schedule from the
+    /// previous one (falling back to a cold solve on large scene changes).
+    /// Results are bitwise identical either way — this only trades compute;
+    /// turn it off to force a cold solve every key frame. Only affects
+    /// fully-synced horizons of [`Algorithm::Balb`] / [`Algorithm::BalbCen`]
+    /// with `redundancy == 1`; degraded or redundant horizons always solve
+    /// cold.
+    pub warm_start: bool,
 }
 
 impl PipelineConfig {
@@ -206,6 +215,7 @@ impl PipelineConfig {
             network: NetworkModel::default(),
             overhead: OverheadModel::default(),
             faults: FaultModel::none(),
+            warm_start: true,
         }
     }
 }
@@ -325,6 +335,15 @@ struct Pipeline<'a> {
     /// Owner cameras per global object of the current horizon (one entry
     /// with redundancy 1; more under the redundant-assignment extension).
     assignment: Vec<Vec<usize>>,
+    /// Persistent warm-start solver for the central stage (see
+    /// [`PipelineConfig::warm_start`]).
+    solver: BalbSolver,
+    /// Reused snapshot of the per-camera liveness flags for the current
+    /// key frame (the snapshot decouples the flags from later fault-state
+    /// mutations without a per-key-frame allocation).
+    alive_scratch: Vec<bool>,
+    /// Reused backing store for key-frame [`UploadMessage`] object lists.
+    upload_scratch: Vec<ObjectRecord>,
     /// Amortized central-stage cost charged to every frame of the horizon.
     central_per_frame_ms: f64,
     /// Structured-tracing recorder; `None` (the default) keeps every
@@ -416,6 +435,7 @@ impl<'a> Pipeline<'a> {
                     mask: None,
                     static_mask: static_masks[i].take(),
                     trace: None,
+                    scratch: FrameScratch::new(),
                 }
             })
             .collect();
@@ -431,6 +451,9 @@ impl<'a> Pipeline<'a> {
             workers,
             faults: FaultState::new(config.faults, config.seed, m),
             assignment: Vec::new(),
+            solver: BalbSolver::new(),
+            alive_scratch: Vec::new(),
+            upload_scratch: Vec::new(),
             central_per_frame_ms: 0.0,
             tracer: None,
             recall: RecallAccumulator::new(),
@@ -469,7 +492,7 @@ impl<'a> Pipeline<'a> {
             if is_key {
                 self.step_faults(&mut workers);
             }
-            let (views, flows, visible, covered) = self.observe(&mut workers);
+            let (views, visible, covered) = self.observe(&mut workers);
             if !self.faults.all_alive() {
                 // Coverage irrecoverably lost to dead cameras: objects no
                 // surviving camera can see still count against recall.
@@ -481,7 +504,7 @@ impl<'a> Pipeline<'a> {
             let (frame_latency, detected, oh) = match self.config.algorithm {
                 Algorithm::Full => self.full_frame(&mut workers, &views),
                 _ if is_key => self.key_frame(&mut workers, &views),
-                _ => self.regular_frame(&mut workers, &views, &flows),
+                _ => self.regular_frame(&mut workers, &views),
             };
 
             // Recall is judged against what is truly in front of the
@@ -555,22 +578,18 @@ impl<'a> Pipeline<'a> {
 
     /// Per-camera observation stage (parallel): extract the camera's view
     /// of the stepped world, apply its processing lag, and estimate
-    /// optical flow against the previous frame.
+    /// optical flow against the previous frame into the worker's scratch
+    /// arena ([`FrameScratch::flow`], skipped for the Full baseline, which
+    /// never consumes it).
     ///
-    /// Returns the lag-adjusted views, the flow fields (empty for the Full
-    /// baseline, which never consumes them), the set of objects truly
-    /// visible *now* (the recall denominator — dead cameras included, so
-    /// lost coverage degrades recall instead of shrinking the test), and
-    /// the subset of those visible to at least one *alive* camera.
+    /// Returns the lag-adjusted views, the set of objects truly visible
+    /// *now* (the recall denominator — dead cameras included, so lost
+    /// coverage degrades recall instead of shrinking the test), and the
+    /// subset of those visible to at least one *alive* camera.
     fn observe(
         &self,
         workers: &mut [CameraWorker],
-    ) -> (
-        Vec<Vec<GroundTruthObject>>,
-        Vec<FlowField>,
-        HashSet<u64>,
-        HashSet<u64>,
-    ) {
+    ) -> (Vec<Vec<GroundTruthObject>>, HashSet<u64>, HashSet<u64>) {
         let wants_flow = self.config.algorithm != Algorithm::Full;
         let occlusion = self.scenario.occlusion_threshold;
         let noise = self.config.flow_noise_px;
@@ -598,26 +617,25 @@ impl<'a> Pipeline<'a> {
                 }
                 w.history.front().expect("just pushed").clone()
             };
-            let flow =
-                wants_flow.then(|| FlowField::estimate(&w.prev_view, &view, noise, &mut w.rng));
-            (ids, view, flow)
+            if wants_flow {
+                w.scratch
+                    .flow
+                    .estimate_into(&w.prev_view, &view, noise, &mut w.rng);
+            }
+            (ids, view)
         });
         let mut views = Vec::with_capacity(outs.len());
-        let mut flows = Vec::with_capacity(outs.len());
         let mut visible = HashSet::new();
         let mut covered = HashSet::new();
         let track_coverage = !self.faults.all_alive();
-        for (i, (ids, view, flow)) in outs.into_iter().enumerate() {
+        for (i, (ids, view)) in outs.into_iter().enumerate() {
             if track_coverage && alive[i] {
                 covered.extend(ids.iter().copied());
             }
             visible.extend(ids);
             views.push(view);
-            if let Some(f) = flow {
-                flows.push(f);
-            }
         }
-        (views, flows, visible, covered)
+        (views, visible, covered)
     }
 
     /// The Full baseline: full-frame inspection everywhere, every frame.
@@ -660,7 +678,9 @@ impl<'a> Pipeline<'a> {
     ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
         self.stats.key_frames += 1;
         let m = views.len();
-        let alive: Vec<bool> = self.faults.alive().to_vec();
+        self.alive_scratch.clear();
+        self.alive_scratch.extend_from_slice(self.faults.alive());
+        let alive = &self.alive_scratch;
         let det_outs: Vec<(Vec<Detection>, f64)> = par_map(workers, self.threads, |w| {
             if !alive[w.index] {
                 return (Vec::new(), 0.0);
@@ -741,13 +761,14 @@ impl<'a> Pipeline<'a> {
         // Reset per-horizon state. A desynchronized camera (alive but out
         // of the round trip) keeps its running tracks and stale mask, but
         // drops the global bookkeeping tied to the superseded assignment.
-        // Dead cameras were wiped at the dropout event.
+        // Dead cameras were wiped at the dropout event. The mask of a
+        // synced camera is left in place: BALB rebuilds it in place below
+        // (reusing its owner table), and no other algorithm ever sets it.
         for w in workers.iter_mut() {
             if synced[w.index] {
                 w.tracker.clear();
                 w.shadows.clear();
                 w.track_global.clear();
-                w.mask = None;
             } else if alive[w.index] {
                 w.shadows.clear();
                 w.track_global.clear();
@@ -867,22 +888,45 @@ impl<'a> Pipeline<'a> {
                     // … and solve on the synced sub-problem when degraded,
                     // lifting owners and priority back to deployment ids.
                     if synced_cams.len() == m {
-                        let schedule = mvs_core::extensions::balb_redundant_traced(
-                            &problem,
-                            redundancy,
-                            self.tracer.as_mut().map(|t| t.coordinator()),
-                        );
-                        self.assignment = (0..globals.len())
-                            .map(|g| {
-                                schedule
-                                    .assignment
-                                    .owners_of(ObjectId(g))
-                                    .iter()
-                                    .map(|c| c.0)
-                                    .collect()
-                            })
-                            .collect();
-                        priority = schedule.priority;
+                        if self.config.warm_start && redundancy == 1 {
+                            // Fully-synced single-owner horizon: repair the
+                            // previous schedule instead of recomputing.
+                            // Bitwise-identical to the cold path (the
+                            // solver falls back to a cold solve itself on
+                            // large scene changes).
+                            let schedule = self.solver.solve_owned_traced(
+                                problem,
+                                self.tracer.as_mut().map(|t| t.coordinator()),
+                            );
+                            self.assignment = (0..globals.len())
+                                .map(|g| {
+                                    schedule
+                                        .assignment
+                                        .owners_of(ObjectId(g))
+                                        .iter()
+                                        .map(|c| c.0)
+                                        .collect()
+                                })
+                                .collect();
+                            priority = schedule.priority.clone();
+                        } else {
+                            let schedule = mvs_core::extensions::balb_redundant_traced(
+                                &problem,
+                                redundancy,
+                                self.tracer.as_mut().map(|t| t.coordinator()),
+                            );
+                            self.assignment = (0..globals.len())
+                                .map(|g| {
+                                    schedule
+                                        .assignment
+                                        .owners_of(ObjectId(g))
+                                        .iter()
+                                        .map(|c| c.0)
+                                        .collect()
+                                })
+                                .collect();
+                            priority = schedule.priority;
+                        }
                     } else {
                         let subset = problem
                             .restrict_to_cameras(&synced_cams)
@@ -927,7 +971,7 @@ impl<'a> Pipeline<'a> {
                         let pre = self.precompute.as_ref().expect("BALB precomputes masks");
                         for w in workers.iter_mut() {
                             if synced[w.index] {
-                                w.mask = Some(pre.mask_for(w.index, &priority));
+                                pre.mask_for_into(w.index, &priority, &mut w.mask);
                             }
                         }
                     }
@@ -939,34 +983,36 @@ impl<'a> Pipeline<'a> {
                 // amortized over the horizon. Lost attempts cost one
                 // retry timeout each; a camera that never answers makes
                 // the scheduler wait out the whole retry schedule.
-                let uplink_phase = all_dets
-                    .iter()
-                    .enumerate()
-                    .map(|(cam, dets)| match up[cam] {
+                // The typed messages are built over one reused record
+                // buffer, so the per-camera fan-out does not allocate once
+                // the buffer has reached its high-water capacity.
+                let mut records = std::mem::take(&mut self.upload_scratch);
+                let mut uplink_phase: f64 = 0.0;
+                for (cam, dets) in all_dets.iter().enumerate() {
+                    let leg = match up[cam] {
                         Some(lost) => {
+                            records.clear();
+                            records.extend(dets.iter().enumerate().map(|(d, det)| ObjectRecord {
+                                detection: d as u32,
+                                bbox: det.bbox,
+                                confidence: det.confidence as f32,
+                                size: SizeClass::quantize(det.bbox.width(), det.bbox.height()),
+                            }));
                             let msg = UploadMessage {
                                 camera: cam as u32,
                                 frame: 0,
-                                objects: dets
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(d, det)| ObjectRecord {
-                                        detection: d as u32,
-                                        bbox: det.bbox,
-                                        confidence: det.confidence as f32,
-                                        size: SizeClass::quantize(
-                                            det.bbox.width(),
-                                            det.bbox.height(),
-                                        ),
-                                    })
-                                    .collect(),
+                                objects: records,
                             };
-                            lost as f64 * model.retry_timeout_ms
-                                + self.config.network.uplink_ms(msg.encoded_len())
+                            let ms = lost as f64 * model.retry_timeout_ms
+                                + self.config.network.uplink_ms(msg.encoded_len());
+                            records = msg.objects;
+                            ms
                         }
                         None => model.deadline_ms(),
-                    })
-                    .fold(0.0, f64::max);
+                    };
+                    uplink_phase = uplink_phase.max(leg);
+                }
+                self.upload_scratch = records;
                 let reply_ms = if synced_cams.is_empty() {
                     0.0
                 } else {
@@ -1026,7 +1072,6 @@ impl<'a> Pipeline<'a> {
         &mut self,
         workers: &mut [CameraWorker],
         views: &[Vec<GroundTruthObject>],
-        flows: &[FlowField],
     ) -> (Vec<f64>, HashSet<u64>, Vec<OverheadSample>) {
         let m = views.len();
         let algorithm = self.config.algorithm;
@@ -1064,10 +1109,11 @@ impl<'a> Pipeline<'a> {
                         },
                     };
                 }
-                // 1. Flow-predict tracks and shadows.
-                w.tracker.predict(&flows[i]);
+                // 1. Flow-predict tracks and shadows (the flow was
+                // estimated into the worker's scratch arena at observe).
+                w.tracker.predict(&w.scratch.flow);
                 if algorithm == Algorithm::Balb {
-                    let flow = &flows[i];
+                    let flow = &w.scratch.flow;
                     w.shadows.retain(|_, s| {
                         let moved = s
                             .bbox
@@ -1091,7 +1137,7 @@ impl<'a> Pipeline<'a> {
                 // 2. Distributed stage (measured): takeover scan against
                 // the frame-start assignment snapshot.
                 let distributed_started = measured.then(Instant::now);
-                let mut takeover_seeds: Vec<(usize, BBox)> = Vec::new();
+                w.scratch.takeover_seeds.clear();
                 // A camera without a mask (rejoined but not yet resynced)
                 // skips the takeover scan; its shadows are empty anyway.
                 if let (Algorithm::Balb, Some(mask)) = (algorithm, w.mask.as_ref()) {
@@ -1102,7 +1148,7 @@ impl<'a> Pipeline<'a> {
                     // does not steal a still-tracked object. If this
                     // camera owns the cell where the object now is, it
                     // takes over.
-                    takeover_seeds = scan_takeovers(
+                    scan_takeovers_into(
                         &mut w.shadows,
                         TAKEOVER_HYSTERESIS,
                         |g, bbox| {
@@ -1120,29 +1166,46 @@ impl<'a> Pipeline<'a> {
                         },
                         |bbox| mask.is_responsible_for(bbox),
                         w.trace.as_mut(),
+                        &mut w.scratch.takeover_seeds,
                     );
-                    for (g, bbox) in &takeover_seeds {
-                        let id = w.tracker.seed(*bbox, None);
-                        w.track_global.insert(id, *g);
+                    for k in 0..w.scratch.takeover_seeds.len() {
+                        let (g, bbox) = w.scratch.takeover_seeds[k];
+                        let id = w.tracker.seed(bbox, None);
+                        w.track_global.insert(id, g);
                     }
                 }
                 let distributed_ms =
                     distributed_started.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
 
-                // 3. Slice regions for live tracks.
-                let mut tasks: Vec<RegionTask> =
-                    slice_regions_traced(w.tracker.tracks(), frame_dims, w.trace.as_mut());
+                // 3. Slice regions for live tracks (into the scratch task
+                // buffer; new-region probes append below).
+                slice_regions_traced_into(
+                    w.tracker.tracks(),
+                    frame_dims,
+                    w.trace.as_mut(),
+                    &mut w.scratch.tasks,
+                );
 
                 // 4. New-region probing.
                 let mut probes = 0;
                 if probe_allowed {
-                    let mut predicted: Vec<BBox> =
-                        w.tracker.tracks().iter().map(|t| t.bbox).collect();
+                    w.scratch.predicted.clear();
+                    w.scratch
+                        .predicted
+                        .extend(w.tracker.tracks().iter().map(|t| t.bbox));
                     if algorithm == Algorithm::Balb {
-                        predicted.extend(w.shadows.values().map(|s| s.bbox));
+                        w.scratch
+                            .predicted
+                            .extend(w.shadows.values().map(|s| s.bbox));
                     }
-                    let fresh = find_new_regions(flows[i].moving_clusters(), &predicted, 0.5);
-                    for region in fresh {
+                    find_new_regions_into(
+                        w.scratch.flow.moving_clusters(),
+                        &w.scratch.predicted,
+                        0.5,
+                        &mut w.scratch.fresh,
+                    );
+                    for k in 0..w.scratch.fresh.len() {
+                        let region = w.scratch.fresh[k];
                         let responsible = match algorithm {
                             Algorithm::BalbInd => true,
                             // No mask (awaiting resync) ⇒ not responsible
@@ -1177,7 +1240,7 @@ impl<'a> Pipeline<'a> {
                         };
                         if responsible {
                             if let Some(task) = RegionTask::for_region(region, frame_dims) {
-                                tasks.push(task);
+                                w.scratch.tasks.push(task);
                                 probes += 1;
                             }
                         }
@@ -1186,15 +1249,15 @@ impl<'a> Pipeline<'a> {
 
                 // 5. Run the (simulated) DNN on every crop; batching
                 // decides the latency.
-                let counts = SizeCounts::from_sizes(tasks.iter().map(|t| t.size));
+                let counts = SizeCounts::from_sizes(w.scratch.tasks.iter().map(|t| t.size));
                 let batches: usize = counts.batches(&w.profile).iter().sum();
-                let batching_ms = overhead.batch_per_crop_ms * tasks.len() as f64
+                let batching_ms = overhead.batch_per_crop_ms * w.scratch.tasks.len() as f64
                     + overhead.batch_per_batch_ms * batches as f64;
                 let latency_ms =
                     counts.latency_ms_traced(&w.profile, batching_ms, w.trace.as_mut());
-                let mut detections: Vec<Detection> = Vec::new();
-                for task in &tasks {
-                    detections.extend(w.detector.detect_region(
+                w.scratch.detections.clear();
+                for task in &w.scratch.tasks {
+                    w.scratch.detections.extend(w.detector.detect_region(
                         &task.region,
                         task.size,
                         &views[i],
@@ -1202,16 +1265,24 @@ impl<'a> Pipeline<'a> {
                     ));
                 }
                 // Deduplicate: neighbouring crops can both cover one
-                // object.
-                detections.sort_by_key(|a| a.truth_id);
-                detections.dedup_by(|a, b| a.truth_id.is_some() && a.truth_id == b.truth_id);
-                let detected: Vec<u64> = detections.iter().filter_map(|d| d.truth_id).collect();
+                // object. (Stable sort: equal ids keep insertion order, so
+                // dedup keeps the first crop's detection.)
+                w.scratch.detections.sort_by_key(|a| a.truth_id);
+                w.scratch
+                    .detections
+                    .dedup_by(|a, b| a.truth_id.is_some() && a.truth_id == b.truth_id);
+                let detected: Vec<u64> = w
+                    .scratch
+                    .detections
+                    .iter()
+                    .filter_map(|d| d.truth_id)
+                    .collect();
 
                 // 6. Track association + lifecycle.
-                let outcome = w.tracker.associate(&detections);
+                let outcome = w.tracker.associate(&w.scratch.detections);
                 if probe_allowed {
                     for &di in &outcome.unmatched_detections {
-                        let d = &detections[di];
+                        let d = &w.scratch.detections[di];
                         w.tracker.seed(d.bbox, d.truth_id);
                     }
                 }
@@ -1236,7 +1307,7 @@ impl<'a> Pipeline<'a> {
                 RegularOutput {
                     latency_ms,
                     detected,
-                    taken: takeover_seeds.into_iter().map(|(g, _)| g).collect(),
+                    taken: w.scratch.takeover_seeds.iter().map(|&(g, _)| g).collect(),
                     probes,
                     sample: OverheadSample {
                         central_ms,
@@ -1354,6 +1425,69 @@ mod tests {
             assert_eq!(runs[0], runs[1], "{algorithm}: 1 vs 2 threads");
             assert_eq!(runs[0], runs[2], "{algorithm}: 1 vs 7 threads");
         }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solves_bitwise_at_any_thread_count() {
+        // The persistent BalbSolver must be invisible in the results: a
+        // warm-started run is bitwise identical to one that cold-solves
+        // every key frame, at 1, 2, and 4 threads. Measured overheads off
+        // so the whole PipelineResult is comparable with `==`.
+        let sc = Scenario::new(ScenarioKind::S2);
+        for algorithm in [Algorithm::Balb, Algorithm::BalbCen] {
+            let mut base = quick_config(algorithm);
+            base.measured_overheads = false;
+            for threads in [1usize, 2, 4] {
+                let warm = run_pipeline(
+                    &sc,
+                    &PipelineConfig {
+                        threads,
+                        warm_start: true,
+                        ..base.clone()
+                    },
+                );
+                let cold = run_pipeline(
+                    &sc,
+                    &PipelineConfig {
+                        threads,
+                        warm_start: false,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(warm, cold, "{algorithm}: warm vs cold at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solves_under_faults() {
+        // Degraded horizons take the cold sub-problem path; full-sync
+        // horizons between them keep warm-starting. The mix must still be
+        // bitwise identical to an always-cold run.
+        let sc = Scenario::new(ScenarioKind::S2);
+        let mut base = quick_config(Algorithm::Balb);
+        base.measured_overheads = false;
+        base.faults = FaultModel {
+            dropout_per_horizon: 0.3,
+            rejoin_per_horizon: 0.5,
+            keyframe_loss: 0.2,
+            ..FaultModel::none()
+        };
+        let warm = run_pipeline(
+            &sc,
+            &PipelineConfig {
+                warm_start: true,
+                ..base.clone()
+            },
+        );
+        let cold = run_pipeline(
+            &sc,
+            &PipelineConfig {
+                warm_start: false,
+                ..base.clone()
+            },
+        );
+        assert_eq!(warm, cold);
     }
 
     #[test]

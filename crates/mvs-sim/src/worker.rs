@@ -14,12 +14,43 @@
 //! count — including one.
 
 use mvs_core::{CameraMask, ShadowTrack};
-use mvs_geometry::FrameDims;
+use mvs_geometry::{BBox, FrameDims};
 use mvs_trace::TraceBuf;
-use mvs_vision::{FlowTracker, GroundTruthObject, LatencyProfile, SimulatedDetector, TrackId};
+use mvs_vision::{
+    Detection, FlowField, FlowTracker, GroundTruthObject, LatencyProfile, RegionTask,
+    SimulatedDetector, TrackId,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Per-camera scratch arena: every buffer the steady-state frame loop
+/// fills and drains each frame. Buffers are cleared (never shrunk) between
+/// frames, so once each reaches its high-water capacity the regular-frame
+/// path stops allocating. Owned by exactly one [`CameraWorker`], so pool
+/// threads touch disjoint arenas without synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct FrameScratch {
+    /// This frame's optical-flow estimate (probe + cluster buffers reused
+    /// via [`FlowField::estimate_into`]).
+    pub flow: FlowField,
+    /// Per-track crop tasks from slicing (plus new-region probes).
+    pub tasks: Vec<RegionTask>,
+    /// Flow-predicted track boxes, input to new-region detection.
+    pub predicted: Vec<BBox>,
+    /// Unexplained moving clusters (new-object probe regions).
+    pub fresh: Vec<BBox>,
+    /// `(global index, seed box)` pairs from the takeover scan.
+    pub takeover_seeds: Vec<(usize, BBox)>,
+    /// Detections accumulated across this frame's crop tasks.
+    pub detections: Vec<Detection>,
+}
+
+impl FrameScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Everything one camera mutates during a frame. Sending a `&mut
 /// CameraWorker` to a pool thread is safe because no field is shared.
@@ -57,6 +88,8 @@ pub(crate) struct CameraWorker {
     /// drained by the coordinator per frame. `None` (the default) disables
     /// tracing with zero hot-path cost.
     pub trace: Option<TraceBuf>,
+    /// Reusable per-frame buffers (see [`FrameScratch`]).
+    pub scratch: FrameScratch,
 }
 
 impl CameraWorker {
@@ -142,6 +175,7 @@ mod tests {
             mask: None,
             static_mask: None,
             trace: None,
+            scratch: FrameScratch::new(),
         }
     }
 

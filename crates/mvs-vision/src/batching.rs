@@ -37,6 +37,12 @@ impl SizeCounts {
         self.counts[size.index()] += 1;
     }
 
+    /// Resets every per-size count to zero (buffer-reuse counterpart of
+    /// [`SizeCounts::new`]).
+    pub fn clear(&mut self) {
+        self.counts = [0; SizeClass::COUNT];
+    }
+
     /// Removes one crop of the given size; returns `false` when none left.
     pub fn remove(&mut self, size: SizeClass) -> bool {
         let c = &mut self.counts[size.index()];
@@ -211,6 +217,12 @@ impl BatchBuilder {
     pub fn push(&mut self, size: SizeClass) -> usize {
         self.tasks.push(size);
         self.tasks.len() - 1
+    }
+
+    /// Removes all tasks, keeping the buffer's capacity so a per-frame
+    /// batching bin can be refilled without reallocating.
+    pub fn clear(&mut self) {
+        self.tasks.clear();
     }
 
     /// Number of pushed tasks.

@@ -34,7 +34,9 @@ mod tracker;
 pub use batching::{batches_needed, Batch, BatchBuilder, SizeCounts};
 pub use detector::{Detection, DetectionModel, GroundTruthObject, SimulatedDetector};
 pub use latency::{DeviceKind, LatencyProfile, SizeProfile};
-pub use new_region::find_new_regions;
+pub use new_region::{find_new_regions, find_new_regions_into};
 pub use optical_flow::{FlowField, FlowVector};
-pub use slicing::{slice_regions, slice_regions_traced, RegionTask};
+pub use slicing::{
+    slice_regions, slice_regions_into, slice_regions_traced, slice_regions_traced_into, RegionTask,
+};
 pub use tracker::{FlowTracker, Track, TrackId, TrackerConfig};

@@ -35,15 +35,27 @@ pub fn find_new_regions(
     predicted: &[BBox],
     coverage_threshold: f64,
 ) -> Vec<BBox> {
-    let mut fresh: Vec<BBox> = clusters
-        .iter()
-        .filter(|c| {
-            !predicted
-                .iter()
-                .any(|p| c.coverage_by(p) >= coverage_threshold)
-        })
-        .copied()
-        .collect();
+    let mut fresh = Vec::new();
+    find_new_regions_into(clusters, predicted, coverage_threshold, &mut fresh);
+    fresh
+}
+
+/// Buffer-reusing variant of [`find_new_regions`]: clears `out` and fills
+/// it with the same merged regions, so the per-frame new-object probe
+/// allocates nothing in steady state.
+pub fn find_new_regions_into(
+    clusters: &[BBox],
+    predicted: &[BBox],
+    coverage_threshold: f64,
+    out: &mut Vec<BBox>,
+) {
+    let fresh = out;
+    fresh.clear();
+    fresh.extend(clusters.iter().filter(|c| {
+        !predicted
+            .iter()
+            .any(|p| c.coverage_by(p) >= coverage_threshold)
+    }));
     // Merge transitively-overlapping regions into hulls.
     let mut merged = true;
     while merged {
@@ -60,7 +72,6 @@ pub fn find_new_regions(
             }
         }
     }
-    fresh
 }
 
 #[cfg(test)]

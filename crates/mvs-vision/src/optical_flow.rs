@@ -53,9 +53,27 @@ pub struct FlowField {
     clusters: Vec<BBox>,
 }
 
+impl Default for FlowField {
+    fn default() -> Self {
+        FlowField::empty()
+    }
+}
+
 impl FlowField {
     /// Minimum displacement (pixels) for an object to register as "moving".
     pub const MOTION_EPSILON: f64 = 0.5;
+
+    /// An empty field with no probed objects (every query returns zero
+    /// motion). The natural initial value for a per-worker scratch field
+    /// that is refilled each frame via [`FlowField::estimate_into`].
+    #[must_use]
+    pub fn empty() -> FlowField {
+        FlowField {
+            prev: Vec::new(),
+            motions: HashMap::new(),
+            clusters: Vec::new(),
+        }
+    }
 
     /// Estimates flow between two frames described by their ground-truth
     /// object sets. `noise_px` is the standard deviation of the estimation
@@ -66,31 +84,46 @@ impl FlowField {
         noise_px: f64,
         rng: &mut R,
     ) -> FlowField {
-        let prev_by_id: HashMap<u64, &GroundTruthObject> = prev.iter().map(|o| (o.id, o)).collect();
-        let mut motions = HashMap::new();
-        let mut clusters = Vec::new();
+        let mut field = FlowField::empty();
+        field.estimate_into(prev, curr, noise_px, rng);
+        field
+    }
+
+    /// Re-estimates this field in place, reusing its buffers — the
+    /// steady-state loop's allocation-free path. Produces exactly the field
+    /// [`FlowField::estimate`] would, drawing the RNG in the same order
+    /// (two gaussians per current object, whether or not it existed in the
+    /// previous frame).
+    pub fn estimate_into<R: Rng + ?Sized>(
+        &mut self,
+        prev: &[GroundTruthObject],
+        curr: &[GroundTruthObject],
+        noise_px: f64,
+        rng: &mut R,
+    ) {
+        self.prev.clear();
+        self.prev.extend_from_slice(prev);
+        self.motions.clear();
+        self.clusters.clear();
         for c in curr {
             let noise = Point2::new(gaussian(rng) * noise_px, gaussian(rng) * noise_px);
-            match prev_by_id.get(&c.id) {
+            // Last match wins, mirroring the id-keyed map the batch
+            // constructor used to build (ids are unique in practice).
+            match prev.iter().rev().find(|p| p.id == c.id) {
                 Some(p) => {
                     let motion = c.bbox.center() - p.bbox.center() + noise;
                     if motion.norm() > Self::MOTION_EPSILON {
-                        clusters.push(c.bbox);
+                        self.clusters.push(c.bbox);
                     }
-                    motions.insert(c.id, motion);
+                    self.motions.insert(c.id, motion);
                 }
                 None => {
                     // Newly appeared object: all of its pixels changed, so it
                     // shows up as a moving cluster even though no
                     // displacement vector exists for it.
-                    clusters.push(c.bbox);
+                    self.clusters.push(c.bbox);
                 }
             }
-        }
-        FlowField {
-            prev: prev.to_vec(),
-            motions,
-            clusters,
         }
     }
 
@@ -222,6 +255,98 @@ mod tests {
         let mean_err = total_err / n as f64;
         // Mean error of a 2-D gaussian with sigma 1.5 ≈ 1.88.
         assert!(mean_err > 0.5 && mean_err < 4.0, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn query_outside_every_probed_box_is_static() {
+        // Points beyond the probed grid — outside all previous-frame boxes,
+        // including negative coordinates — must read as background.
+        let prev = [obj(1, 100.0, 100.0, 40.0)];
+        let curr = [obj(1, 110.0, 100.0, 40.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+        for p in [
+            Point2::new(-50.0, -50.0),
+            Point2::new(99.9, 120.0),
+            Point2::new(140.1, 120.0),
+            Point2::new(1e9, 1e9),
+        ] {
+            assert_eq!(flow.displacement_at(p).displacement, Point2::ORIGIN);
+        }
+    }
+
+    #[test]
+    fn static_scene_yields_empty_cluster_set() {
+        // Nothing moved and nothing appeared: no clusters at all, and the
+        // empty slice must be stable across repeated calls.
+        let prev = [obj(1, 0.0, 0.0, 40.0), obj(2, 200.0, 200.0, 40.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let flow = FlowField::estimate(&prev, &prev, 0.0, &mut rng);
+        assert!(flow.moving_clusters().is_empty());
+        assert!(flow.moving_clusters().is_empty());
+        let empty = FlowField::empty();
+        assert!(empty.moving_clusters().is_empty());
+        assert_eq!(
+            empty.displacement_at(Point2::new(10.0, 10.0)).displacement,
+            Point2::ORIGIN
+        );
+    }
+
+    #[test]
+    fn single_probe_field_answers_inside_and_outside() {
+        // A one-object field: the box boundary separates the object's
+        // motion from the static background exactly.
+        let prev = [obj(9, 50.0, 50.0, 30.0)];
+        let curr = [obj(9, 53.0, 46.0, 30.0)];
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let flow = FlowField::estimate(&prev, &curr, 0.0, &mut rng);
+        let motion = Point2::new(3.0, -4.0);
+        assert_eq!(
+            flow.displacement_at(Point2::new(65.0, 65.0)).displacement,
+            motion
+        );
+        // Box corners are inclusive; just past them is background.
+        assert_eq!(
+            flow.displacement_at(Point2::new(50.0, 50.0)).displacement,
+            motion
+        );
+        assert_eq!(
+            flow.displacement_at(Point2::new(80.0, 80.0)).displacement,
+            motion
+        );
+        assert_eq!(
+            flow.displacement_at(Point2::new(80.1, 80.0)).displacement,
+            Point2::ORIGIN
+        );
+        assert_eq!(flow.moving_clusters(), &[curr[0].bbox]);
+    }
+
+    #[test]
+    fn estimate_into_reuses_buffers_and_matches_estimate() {
+        let prev = [obj(1, 0.0, 0.0, 40.0), obj(2, 200.0, 200.0, 40.0)];
+        let curr = [obj(1, 10.0, 0.0, 40.0), obj(3, 400.0, 100.0, 40.0)];
+        let mut rng_a = ChaCha8Rng::seed_from_u64(13);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(13);
+        let batch = FlowField::estimate(&prev, &curr, 1.0, &mut rng_a);
+        let mut scratch = FlowField::empty();
+        // Pollute the scratch with an unrelated frame first.
+        scratch.estimate_into(&curr, &prev, 1.0, &mut ChaCha8Rng::seed_from_u64(99));
+        scratch.estimate_into(&prev, &curr, 1.0, &mut rng_b);
+        assert_eq!(scratch.moving_clusters(), batch.moving_clusters());
+        for p in [
+            Point2::new(20.0, 20.0),
+            Point2::new(220.0, 220.0),
+            Point2::new(410.0, 110.0),
+            Point2::new(-5.0, 3.0),
+        ] {
+            assert_eq!(
+                scratch.displacement_at(p).displacement,
+                batch.displacement_at(p).displacement,
+                "at {p:?}"
+            );
+        }
+        // The RNG streams advanced identically.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

@@ -59,20 +59,27 @@ impl RegionTask {
 /// # Ok::<(), mvs_geometry::BBoxError>(())
 /// ```
 pub fn slice_regions(tracks: &[Track], frame: FrameDims) -> Vec<RegionTask> {
-    tracks
-        .iter()
-        .filter_map(|t| {
-            let crop = t
-                .bbox
-                .expanded_to_square(t.size.side() as f64)
-                .clamped_to(frame)?;
-            Some(RegionTask {
-                track: Some(t.id),
-                region: crop,
-                size: t.size,
-            })
+    let mut tasks = Vec::new();
+    slice_regions_into(tracks, frame, &mut tasks);
+    tasks
+}
+
+/// Buffer-reusing variant of [`slice_regions`]: clears `out` and fills it
+/// with the same tasks, so the steady-state loop can slice every frame
+/// without allocating once the buffer has reached its high-water capacity.
+pub fn slice_regions_into(tracks: &[Track], frame: FrameDims, out: &mut Vec<RegionTask>) {
+    out.clear();
+    out.extend(tracks.iter().filter_map(|t| {
+        let crop = t
+            .bbox
+            .expanded_to_square(t.size.side() as f64)
+            .clamped_to(frame)?;
+        Some(RegionTask {
+            track: Some(t.id),
+            region: crop,
+            size: t.size,
         })
-        .collect()
+    }));
 }
 
 /// Traced variant of [`slice_regions`]: additionally records a
@@ -88,6 +95,17 @@ pub fn slice_regions_traced(
     let tasks = slice_regions(tracks, frame);
     span_into(trace, Stage::Slice, 0.0, tasks.len());
     tasks
+}
+
+/// Buffer-reusing variant of [`slice_regions_traced`].
+pub fn slice_regions_traced_into(
+    tracks: &[Track],
+    frame: FrameDims,
+    trace: Option<&mut TraceBuf>,
+    out: &mut Vec<RegionTask>,
+) {
+    slice_regions_into(tracks, frame, out);
+    span_into(trace, Stage::Slice, 0.0, out.len());
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 //!
 //! Algorithms: `full`, `balb`, `balb-ind`, `balb-cen`, `sp`, `sp-oracle`.
 //! Options: `--horizon N`, `--train-s S`, `--eval-s S`, `--seed N`,
-//! `--redundancy N`, `--no-batching`, `--threads N`, `--trace DIR`.
+//! `--redundancy N`, `--no-batching`, `--no-warm-start`, `--threads N`,
+//! `--trace DIR`.
 
 use multiview_scheduler::metrics::{sparkline_fit, TextTable};
 use multiview_scheduler::sim::{
@@ -61,6 +62,10 @@ mod cli {
         pub seed: u64,
         pub redundancy: usize,
         pub disable_batching: bool,
+        /// Cold-solve every key frame instead of warm-starting the central
+        /// stage from the previous horizon (results are identical; this
+        /// only trades compute).
+        pub no_warm_start: bool,
         pub threads: usize,
         /// When set, record per-stage spans and write the trace exports
         /// (Chrome JSON, Prometheus text, golden text) into this directory.
@@ -76,6 +81,7 @@ mod cli {
                 seed: 17,
                 redundancy: 1,
                 disable_batching: false,
+                no_warm_start: false,
                 threads: 0,
                 trace_dir: None,
             }
@@ -180,6 +186,7 @@ mod cli {
                     }
                 }
                 "--no-batching" => options.disable_batching = true,
+                "--no-warm-start" => options.no_warm_start = true,
                 "--trace" => options.trace_dir = Some(value("--trace")?),
                 "--threads" => {
                     options.threads = value("--threads")?
@@ -245,6 +252,18 @@ mod cli {
                     assert_eq!(options.threads, 4);
                     assert_eq!(options.trace_dir, None);
                 }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn parses_no_warm_start_flag() {
+            match parse(&args("run s2 balb --no-warm-start")).unwrap() {
+                Command::Run { options, .. } => assert!(options.no_warm_start),
+                other => panic!("unexpected {other:?}"),
+            }
+            match parse(&args("run s2 balb")).unwrap() {
+                Command::Run { options, .. } => assert!(!options.no_warm_start),
                 other => panic!("unexpected {other:?}"),
             }
         }
@@ -316,6 +335,9 @@ OPTIONS:
     --seed N          RNG seed                       (default 17)
     --redundancy N    owners per object              (default 1)
     --no-batching     force GPU batch limits to one
+    --no-warm-start   cold-solve the central stage every key frame instead
+                      of warm-starting from the previous horizon's schedule
+                      (results are identical; compute-only knob)
     --threads N       camera worker threads; 0 = auto (default 0):
                       MVS_THREADS env, else available CPU parallelism.
                       Results are identical at any thread count.
@@ -370,6 +392,7 @@ fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
         seed: options.seed,
         redundancy: options.redundancy,
         disable_batching: options.disable_batching,
+        warm_start: !options.no_warm_start,
         threads: options.threads,
         ..PipelineConfig::paper_default(algorithm)
     }
