@@ -9,8 +9,11 @@
 //! sweep speedup approaches the pool width; on a single-core host it is ~1x
 //! (the JSON records `host_cpus` so readers can tell).
 //!
-//! Scenarios: the paper's S1/S3 plus a six-camera "S6" ring built with
-//! [`ScenarioBuilder`], exercising the engine above the largest preset.
+//! Scenarios: the paper's S1/S3, a six-camera "S6" ring built with
+//! [`ScenarioBuilder`], and a 16-camera procedural city fleet
+//! ([`Scenario::city`]) so the pre/post-sharding contrast is recorded in
+//! one artifact. Alongside raw speedup, each row reports parallel
+//! *efficiency* — speedup divided by the pool width.
 //!
 //! Run with `cargo run --release -p mvs-bench --bin bench_parallel`.
 
@@ -18,8 +21,8 @@ use mvs_bench::{parallel_map, write_json, SEED};
 use mvs_geometry::{FrameDims, Point2};
 use mvs_metrics::TextTable;
 use mvs_sim::{
-    resolve_threads, run_pipeline, Algorithm, CameraModel, PipelineConfig, PipelineResult, Route,
-    Scenario, ScenarioBuilder, ScenarioKind, SpawnConfig, TrafficLight,
+    resolve_threads, run_pipeline, Algorithm, CameraModel, CityConfig, PipelineConfig,
+    PipelineResult, Route, Scenario, ScenarioBuilder, ScenarioKind, SpawnConfig, TrafficLight,
 };
 use mvs_vision::DeviceKind;
 use serde::Serialize;
@@ -34,6 +37,8 @@ struct Row {
     serial_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+    /// Speedup divided by the pool width: 1.0 = perfect scaling.
+    efficiency: f64,
 }
 
 #[derive(Serialize)]
@@ -128,6 +133,14 @@ fn main() {
         ("S1".to_string(), Scenario::new(ScenarioKind::S1)),
         ("S3".to_string(), Scenario::new(ScenarioKind::S3)),
         ("S6".to_string(), s6()),
+        (
+            "city-16".to_string(),
+            Scenario::city(&CityConfig {
+                cameras: 16,
+                seed: SEED,
+                intensity: 1.0,
+            }),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -138,6 +151,7 @@ fn main() {
         "serial (ms)",
         "parallel (ms)",
         "speedup",
+        "efficiency",
     ]);
     for (name, scenario) in &scenarios {
         let jobs: Vec<(Algorithm, u64)> = algorithms
@@ -164,6 +178,7 @@ fn main() {
         );
 
         let speedup = serial_ms / parallel_ms;
+        let efficiency = speedup / pool_threads as f64;
         table.row(vec![
             name.clone(),
             scenario.num_cameras().to_string(),
@@ -171,6 +186,7 @@ fn main() {
             format!("{serial_ms:.0}"),
             format!("{parallel_ms:.0}"),
             format!("{speedup:.2}x"),
+            format!("{:.0}%", efficiency * 100.0),
         ]);
         rows.push(Row {
             scenario: name.clone(),
@@ -180,6 +196,7 @@ fn main() {
             serial_ms,
             parallel_ms,
             speedup,
+            efficiency,
         });
     }
 

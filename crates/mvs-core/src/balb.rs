@@ -91,7 +91,7 @@ pub fn balb_central(problem: &MvsProblem) -> BalbSchedule {
 /// object index ascending. Lexicographic `u64` order therefore equals the
 /// comparator order exactly, and the object index rides along in the low
 /// bits so the sorted keys need no side table.
-fn order_key(object: &ObjectInfo, index: usize) -> u64 {
+pub(crate) fn order_key(object: &ObjectInfo, index: usize) -> u64 {
     let cov = object.coverage_len() as u64;
     let inv_size = (SizeClass::COUNT
         - 1
@@ -107,7 +107,7 @@ fn order_key(object: &ObjectInfo, index: usize) -> u64 {
 }
 
 /// Object index stored in the low bits of a packed sort key.
-fn order_key_index(key: u64) -> usize {
+pub(crate) fn order_key_index(key: u64) -> usize {
     (key & u64::from(u32::MAX)) as usize
 }
 
@@ -116,7 +116,7 @@ fn order_key_index(key: u64) -> usize {
 /// bitwise-identical choices: it mutates `latencies`/`counts` exactly like
 /// the cold loop and returns the chosen camera (the caller records the
 /// assignment).
-fn greedy_place(
+pub(crate) fn greedy_place(
     problem: &MvsProblem,
     object: &ObjectInfo,
     latencies: &mut [f64],
@@ -185,7 +185,7 @@ fn greedy_place(
 
 /// Sorts `priority` by increasing assigned latency, ties by camera id —
 /// the distributed-stage order of both the cold and warm solvers.
-fn sort_priority(priority: &mut [CameraId], latencies: &[f64]) {
+pub(crate) fn sort_priority(priority: &mut [CameraId], latencies: &[f64]) {
     priority.sort_by(|a, b| {
         latencies[a.0]
             .partial_cmp(&latencies[b.0])

@@ -54,6 +54,7 @@ pub mod extensions;
 mod ids;
 mod mask;
 mod problem;
+mod shard;
 
 pub use assignment::Assignment;
 pub use balb::{balb_central, balb_central_traced, BalbSchedule, BalbSolver, SolverStats};
@@ -64,4 +65,8 @@ pub use ids::{CameraId, ObjectId};
 pub use mask::CameraMask;
 pub use problem::{
     CameraInfo, CameraSubset, MvsProblem, ObjectInfo, ProblemConfig, ProblemDelta, ProblemError,
+};
+pub use shard::{
+    balb_sharded, balb_sharded_profiled, balb_sharded_threaded, OverlapGraph, ShardPlan,
+    ShardTimings, ShardedBalbSolver, ShardedSolveStats,
 };

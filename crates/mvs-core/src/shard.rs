@@ -1,0 +1,1008 @@
+//! Overlap-graph sharding of the central BALB solve, for city-scale fleets.
+//!
+//! The paper's deployments stop at a handful of cameras, where one
+//! [`balb_central`] call per key frame is cheap. At hundreds of cameras the
+//! monolithic solve becomes the coordinator's bottleneck — but city fleets
+//! are not one dense blob: view overlap is local (cameras around the same
+//! intersection), so the *camera overlap graph* decomposes into many small
+//! components. This module exploits that structure:
+//!
+//! 1. [`OverlapGraph`] — cameras as nodes, an edge wherever two cameras can
+//!    co-observe (built either from an instance's coverage sets or from
+//!    view polygons via [`Polygon::intersects`]);
+//! 2. [`ShardPlan`] — connected components as shards, with an optional
+//!    max-shard-size split for pathologically dense districts;
+//! 3. [`balb_sharded`] / [`ShardedBalbSolver`] — independent per-shard BALB
+//!    solves (cold or warm-started, optionally fanned out over scoped
+//!    threads), merged back into one deployment-wide [`BalbSchedule`];
+//! 4. a cross-shard rebalance pass for objects whose coverage a forced
+//!    split cut across shard boundaries.
+//!
+//! # Why sharding is exact on component shards
+//!
+//! When every shard is a whole connected component of the overlap graph
+//! ([`ShardPlan::is_exact`]), the sharded schedule is **bitwise identical**
+//! to [`balb_central`] — latencies compare equal under `f64::to_bits`:
+//!
+//! * every object's coverage set lies inside exactly one component, so the
+//!   central greedy's per-object decision reads and writes only that
+//!   component's latencies and batch counts — the central pass *is* an
+//!   interleaving of independent per-component passes;
+//! * Algorithm 1's scheduling order sorts by (coverage size, max crop size,
+//!   object index); restricting to a component keeps objects in the same
+//!   relative index order with unchanged coverage sizes and crop sizes, so
+//!   each component's objects are visited in the same relative order either
+//!   way ([`MvsProblem::restrict_to_cameras`] preserves relative order when
+//!   it re-indexes densely);
+//! * greedy tie-breaks compare latencies and camera *ids*; dense
+//!   re-indexing is monotone in the original ids, so every comparison
+//!   resolves identically;
+//! * per-camera latency is the same sequence of f64 additions either way,
+//!   hence bit-equal, and the global priority is one sort of the merged
+//!   latencies — the same sort [`balb_central`] runs.
+//!
+//! A split component forfeits this guarantee for the objects it cuts: each
+//! such *boundary object* is clipped to its home shard (the shard holding
+//! most of its coverage) for the per-shard solves, then the rebalance pass
+//! greedily moves boundary objects across shards whenever the move strictly
+//! reduces the pairwise latency maximum — which can only lower (never
+//! raise) the system latency relative to the clipped solution.
+
+use crate::balb::{balb_central, greedy_place, order_key, order_key_index, sort_priority};
+use crate::{
+    Assignment, BalbSchedule, BalbSolver, CameraId, CameraSubset, MvsProblem, ObjectId, ObjectInfo,
+};
+use mvs_geometry::Polygon;
+use mvs_vision::SizeCounts;
+use std::collections::BTreeMap;
+
+/// The camera view-overlap graph: one node per camera, an edge between two
+/// cameras that can observe a common world region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapGraph {
+    /// Sorted, deduplicated neighbour lists (no self-loops).
+    adj: Vec<Vec<usize>>,
+}
+
+impl OverlapGraph {
+    /// Builds the graph from an instance's coverage sets: two cameras are
+    /// adjacent iff some object of `problem` is visible to both. This is
+    /// the graph the scheduler itself induces, so shards derived from it
+    /// are always coverage-closed ([`ShardPlan::from_components`] on this
+    /// graph is always exact).
+    pub fn from_problem(problem: &MvsProblem) -> OverlapGraph {
+        let mut adj = vec![Vec::new(); problem.num_cameras()];
+        for object in problem.objects() {
+            let coverage: Vec<CameraId> = object.coverage().collect();
+            for (k, &a) in coverage.iter().enumerate() {
+                for &b in &coverage[k + 1..] {
+                    adj[a.0].push(b.0);
+                    adj[b.0].push(a.0);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        OverlapGraph { adj }
+    }
+
+    /// Builds the graph from camera view polygons: two cameras are adjacent
+    /// iff their ground-plane footprints intersect (exact separating-axis
+    /// test). This is the *static* overlap structure of a deployment —
+    /// independent of any particular frame's objects — used for scenario
+    /// statistics and association-training pruning.
+    pub fn from_polygons(polygons: &[Polygon]) -> OverlapGraph {
+        let mut adj = vec![Vec::new(); polygons.len()];
+        for a in 0..polygons.len() {
+            for b in a + 1..polygons.len() {
+                if polygons[a].intersects(&polygons[b]) {
+                    adj[a].push(b);
+                    adj[b].push(a);
+                }
+            }
+        }
+        OverlapGraph { adj }
+    }
+
+    /// Number of cameras (nodes).
+    pub fn num_cameras(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether two cameras' views overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn are_overlapping(&self, a: CameraId, b: CameraId) -> bool {
+        assert!(b.0 < self.adj.len(), "camera id out of range");
+        self.adj[a.0].binary_search(&b.0).is_ok()
+    }
+
+    /// Connected components, each as a sorted camera-id list; the component
+    /// list itself is ordered by smallest member id. Deterministic.
+    pub fn components(&self) -> Vec<Vec<CameraId>> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut components = Vec::new();
+        for start in 0..self.adj.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut member_ids = self.bfs_order(start, &mut seen);
+            member_ids.sort_unstable();
+            components.push(member_ids.into_iter().map(CameraId).collect());
+        }
+        components
+    }
+
+    /// Whether the whole fleet forms a single overlap component.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        self.bfs_order(0, &mut seen).len() == self.adj.len()
+    }
+
+    /// Breadth-first traversal order from `start` over unseen nodes
+    /// (neighbours visited in ascending id order, so the order — used for
+    /// deterministic shard splitting — is a pure function of the graph).
+    fn bfs_order(&self, start: usize, seen: &mut [bool]) -> Vec<usize> {
+        let mut order = vec![start];
+        seen[start] = true;
+        let mut head = 0;
+        while head < order.len() {
+            let node = order[head];
+            head += 1;
+            for &next in &self.adj[node] {
+                if !seen[next] {
+                    seen[next] = true;
+                    order.push(next);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// A partition of the camera fleet into solve shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Sorted camera ids per shard; shards ordered by smallest member id.
+    shards: Vec<Vec<CameraId>>,
+    /// Shard index per camera id.
+    shard_of: Vec<usize>,
+    /// Overlap components that had to be cut by the max-shard-size limit.
+    split_components: usize,
+}
+
+impl ShardPlan {
+    /// One shard per connected component — the exact plan: solving it with
+    /// [`balb_sharded`] reproduces [`balb_central`] bitwise (see the module
+    /// docs for the argument).
+    pub fn from_components(graph: &OverlapGraph) -> ShardPlan {
+        Self::build(graph, usize::MAX)
+    }
+
+    /// Component shards, but any component larger than `max_cameras` is cut
+    /// into consecutive chunks of its (deterministic) breadth-first order.
+    /// Splitting caps per-shard solve cost in pathologically dense
+    /// districts at the price of exactness: objects whose coverage spans a
+    /// cut are clipped to a home shard and later revisited by the
+    /// cross-shard rebalance pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cameras` is zero.
+    pub fn with_max_shard_size(graph: &OverlapGraph, max_cameras: usize) -> ShardPlan {
+        assert!(max_cameras > 0, "shards need at least one camera");
+        Self::build(graph, max_cameras)
+    }
+
+    fn build(graph: &OverlapGraph, max_cameras: usize) -> ShardPlan {
+        let mut seen = vec![false; graph.num_cameras()];
+        let mut shards: Vec<Vec<CameraId>> = Vec::new();
+        let mut split_components = 0;
+        for start in 0..graph.num_cameras() {
+            if seen[start] {
+                continue;
+            }
+            let order = graph.bfs_order(start, &mut seen);
+            if order.len() > max_cameras {
+                split_components += 1;
+            }
+            for chunk in order.chunks(max_cameras.min(order.len())) {
+                let mut ids: Vec<usize> = chunk.to_vec();
+                ids.sort_unstable();
+                shards.push(ids.into_iter().map(CameraId).collect());
+            }
+        }
+        shards.sort_by_key(|s| s[0]);
+        let mut shard_of = vec![0usize; graph.num_cameras()];
+        for (idx, shard) in shards.iter().enumerate() {
+            for &c in shard {
+                shard_of[c.0] = idx;
+            }
+        }
+        ShardPlan {
+            shards,
+            shard_of,
+            split_components,
+        }
+    }
+
+    /// The shards: sorted camera-id lists, ordered by smallest member id.
+    /// Together they partition `0..M` exactly.
+    pub fn shards(&self) -> &[Vec<CameraId>] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cameras in the largest shard (the per-shard solve-cost bound).
+    pub fn largest_shard(&self) -> usize {
+        self.shards.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Which shard a camera belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn shard_of(&self, camera: CameraId) -> usize {
+        self.shard_of[camera.0]
+    }
+
+    /// True when every shard is a whole overlap component — the regime in
+    /// which the sharded solve is provably bitwise-equal to the central
+    /// one. A plan built by [`ShardPlan::from_components`] is always exact;
+    /// one built by [`ShardPlan::with_max_shard_size`] is exact iff no
+    /// component exceeded the limit.
+    pub fn is_exact(&self) -> bool {
+        self.split_components == 0
+    }
+
+    /// The shard holding the majority of `object`'s coverage set (ties to
+    /// the lowest shard index) — where a boundary object is clipped to for
+    /// the per-shard solves.
+    fn home_shard(&self, object: &ObjectInfo) -> usize {
+        let mut votes: BTreeMap<usize, usize> = BTreeMap::new();
+        for camera in object.coverage() {
+            *votes.entry(self.shard_of(camera)).or_insert(0) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(shard, _)| shard)
+            .expect("coverage sets are non-empty by problem validation")
+    }
+
+    /// Whether the object's coverage set crosses a shard boundary (only
+    /// possible under a split plan).
+    fn is_boundary(&self, object: &ObjectInfo) -> bool {
+        let mut coverage = object.coverage();
+        let first = self.shard_of(coverage.next().expect("non-empty coverage"));
+        coverage.any(|c| self.shard_of(c) != first)
+    }
+}
+
+/// Statistics of the most recent sharded solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedSolveStats {
+    /// Shards solved.
+    pub shards: usize,
+    /// Shards whose [`BalbSolver`] took the warm (prefix-replay) path.
+    pub warm_shards: usize,
+    /// Boundary objects moved across shards by the rebalance pass.
+    pub rebalance_moves: usize,
+}
+
+/// Sharded cold solve: per-shard [`balb_central`] merged into a
+/// deployment-wide schedule (plus the rebalance pass under a split plan).
+///
+/// Bitwise-equal to `balb_central(problem)` whenever `plan.is_exact()`.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_core::{balb_central, balb_sharded, MvsProblem, OverlapGraph, ProblemConfig, ShardPlan};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+/// let problem = MvsProblem::random(&mut rng, 6, 40, &ProblemConfig::default());
+/// let plan = ShardPlan::from_components(&OverlapGraph::from_problem(&problem));
+/// let sharded = balb_sharded(&problem, &plan);
+/// assert_eq!(sharded, balb_central(&problem));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the plan was built for a different fleet size.
+pub fn balb_sharded(problem: &MvsProblem, plan: &ShardPlan) -> BalbSchedule {
+    balb_sharded_threaded(problem, plan, 1)
+}
+
+/// [`balb_sharded`] with the per-shard solves fanned out across up to
+/// `threads` scoped threads. The merge order is fixed by the plan, so the
+/// result is identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if the plan was built for a different fleet size.
+pub fn balb_sharded_threaded(
+    problem: &MvsProblem,
+    plan: &ShardPlan,
+    threads: usize,
+) -> BalbSchedule {
+    if plan.is_exact() {
+        return balb_sharded_exact(problem, plan, threads);
+    }
+    let subsets = shard_subproblems(problem, plan);
+    let schedules = par_map_items(&subsets, threads, |sub| balb_central(&sub.problem));
+    let borrowed: Vec<&BalbSchedule> = schedules.iter().collect();
+    merge_shards(problem, plan, &subsets, &borrowed).0
+}
+
+/// Zero-copy sharded solve for exact (whole-component) plans: no
+/// sub-instance is materialized. On an exact plan every object's coverage
+/// set lies inside one shard, so objects are tagged with their shard and
+/// packed scheduling key (parallel over object chunks), the keys are
+/// scattered into per-shard buckets (O(N) serial, integers only), each
+/// shard sorts its bucket and replays the greedy pass *against the
+/// original instance* — each worker only ever touches its own shard's
+/// entries of a private full-width latency/counts scratch — and the merge
+/// copies back exactly the shard-owned latency entries. Per-bucket sorted
+/// order is the restriction of the global scheduling order (packed keys
+/// are unique and comparisons don't cross buckets), so this performs the
+/// exact sequence of [`greedy_place`] calls of [`balb_central`] per
+/// component and stays bitwise identical at any thread count. The serial
+/// residue is the O(N) integer scatter plus the O(M log M + N) merge.
+fn balb_sharded_exact(problem: &MvsProblem, plan: &ShardPlan, threads: usize) -> BalbSchedule {
+    balb_sharded_exact_timed(problem, plan, threads).0
+}
+
+/// Wall-clock breakdown of one exact sharded solve, reported by
+/// [`balb_sharded_profiled`] so the fleet benchmark can model thread
+/// scaling from the timings of the *actual* execution path.
+#[derive(Debug, Clone)]
+pub struct ShardTimings {
+    /// Time spent computing per-object (shard, scheduling-key) tags —
+    /// embarrassingly parallel over objects.
+    pub keying_ms: f64,
+    /// Per-shard solve time (bucket sort + greedy replay + scratch init),
+    /// one entry per shard in plan order — parallel across shards.
+    pub shard_ms: Vec<f64>,
+    /// Serial residue: bucket scatter, latency/owner merge, and the global
+    /// priority sort.
+    pub serial_ms: f64,
+    /// End-to-end wall clock of the solve.
+    pub total_ms: f64,
+}
+
+/// [`balb_sharded`] on one thread with a wall-clock breakdown — the
+/// measurement hook behind `bench_fleet`'s thread-scaling model.
+///
+/// # Panics
+///
+/// Panics if the plan is not exact ([`ShardPlan::is_exact`]) or was built
+/// for a different fleet size.
+pub fn balb_sharded_profiled(
+    problem: &MvsProblem,
+    plan: &ShardPlan,
+) -> (BalbSchedule, ShardTimings) {
+    assert!(
+        plan.is_exact(),
+        "profiled sharded solves require an exact (whole-component) plan"
+    );
+    let started = std::time::Instant::now();
+    let (schedule, keying_ms, shard_ms) = balb_sharded_exact_timed(problem, plan, 1);
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+    let serial_ms = (total_ms - keying_ms - shard_ms.iter().sum::<f64>()).max(0.0);
+    (
+        schedule,
+        ShardTimings {
+            keying_ms,
+            shard_ms,
+            serial_ms,
+            total_ms,
+        },
+    )
+}
+
+fn balb_sharded_exact_timed(
+    problem: &MvsProblem,
+    plan: &ShardPlan,
+    threads: usize,
+) -> (BalbSchedule, f64, Vec<f64>) {
+    assert_eq!(
+        plan.shard_of.len(),
+        problem.num_cameras(),
+        "shard plan was built for a different fleet"
+    );
+    let m = problem.num_cameras();
+    let n = problem.num_objects();
+    // Algorithm 1 line 1 template, computed once and memcpy'd per worker.
+    let full_frame: Vec<f64> = (0..m)
+        .map(|i| problem.profile(CameraId(i)).full_frame_ms())
+        .collect();
+
+    // Tag every object with (shard, packed key) — parallel over chunks.
+    // The key derivation walks the object's crop-size map, so at city
+    // scale this pass costs as much as the greedy itself and must not
+    // stay serial.
+    let keying_start = std::time::Instant::now();
+    let mut tagged: Vec<(u32, u64)> = vec![(0, 0); n];
+    let tag = |j: usize, object: &ObjectInfo| {
+        let camera = object
+            .coverage()
+            .next()
+            .expect("coverage sets are non-empty by problem validation");
+        (plan.shard_of(camera) as u32, order_key(object, j))
+    };
+    let workers = threads.clamp(1, n.max(1));
+    if workers == 1 {
+        for (j, slot) in tagged.iter_mut().enumerate() {
+            *slot = tag(j, &problem.objects()[j]);
+        }
+    } else {
+        let chunk_len = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (c, chunk) in tagged.chunks_mut(chunk_len).enumerate() {
+                let tag = &tag;
+                scope.spawn(move || {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        let j = c * chunk_len + off;
+                        *slot = tag(j, &problem.objects()[j]);
+                    }
+                });
+            }
+        });
+    }
+    let keying_ms = keying_start.elapsed().as_secs_f64() * 1e3;
+
+    // Serial integer scatter into per-shard key buckets (pre-sized so the
+    // pushes never reallocate).
+    let mut bucket_len = vec![0usize; plan.num_shards()];
+    for &(shard, _) in &tagged {
+        bucket_len[shard as usize] += 1;
+    }
+    let mut buckets: Vec<Vec<u64>> = bucket_len.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for &(shard, key) in &tagged {
+        buckets[shard as usize].push(key);
+    }
+
+    let outcomes = par_map_items(&buckets, threads, |bucket| {
+        let shard_start = std::time::Instant::now();
+        let mut keys = bucket.clone();
+        keys.sort_unstable();
+        let mut latencies = full_frame.clone();
+        let mut counts = vec![SizeCounts::new(); m];
+        // Owner lists are allocated here, in the worker, so the serial
+        // merge below moves them into place without touching the heap.
+        let mut owners: Vec<(ObjectId, Vec<CameraId>)> = Vec::with_capacity(keys.len());
+        for &key in &keys {
+            let j = order_key_index(key);
+            let object = &problem.objects()[j];
+            let camera = greedy_place(problem, object, &mut latencies, &mut counts);
+            owners.push((object.id, vec![camera]));
+        }
+        let ms = shard_start.elapsed().as_secs_f64() * 1e3;
+        (latencies, owners, ms)
+    });
+
+    let mut owner_lists: Vec<Vec<CameraId>> = vec![Vec::new(); n];
+    let mut latencies = full_frame;
+    let mut shard_ms = Vec::with_capacity(outcomes.len());
+    for (shard, (local, owners, ms)) in plan.shards().iter().zip(outcomes) {
+        for &camera in shard {
+            latencies[camera.0] = local[camera.0];
+        }
+        for (object, list) in owners {
+            owner_lists[object.0] = list;
+        }
+        shard_ms.push(ms);
+    }
+    let assignment = Assignment::from_owner_lists(owner_lists);
+    let mut priority: Vec<CameraId> = (0..m).map(CameraId).collect();
+    sort_priority(&mut priority, &latencies);
+    let schedule = BalbSchedule {
+        assignment,
+        camera_latencies_ms: latencies,
+        priority,
+    };
+    (schedule, keying_ms, shard_ms)
+}
+
+/// Warm-started sharded solver: one persistent [`BalbSolver`] per shard, so
+/// steady-state key frames repair each shard's previous schedule instead of
+/// recomputing it. The per-shard solvers are keyed by the shard's smallest
+/// camera id and survive plan changes that leave that shard untouched.
+///
+/// Like [`BalbSolver`], the output is bitwise identical whether a shard
+/// takes its warm or cold path — and therefore bitwise identical to
+/// [`balb_central`] whenever the plan is exact.
+#[derive(Debug, Default)]
+pub struct ShardedBalbSolver {
+    /// Per-shard warm solvers, keyed by the shard's smallest camera id.
+    solvers: BTreeMap<usize, BalbSolver>,
+    stats: ShardedSolveStats,
+}
+
+impl ShardedBalbSolver {
+    /// A solver with no per-shard state (every first shard solve is cold).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics of the most recent [`ShardedBalbSolver::solve`] call.
+    pub fn last_stats(&self) -> ShardedSolveStats {
+        self.stats
+    }
+
+    /// Solves `problem` shard-by-shard (warm where possible), fanning the
+    /// per-shard solves out over up to `threads` scoped threads, and
+    /// returns the merged deployment-wide schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different fleet size.
+    pub fn solve(
+        &mut self,
+        problem: &MvsProblem,
+        plan: &ShardPlan,
+        threads: usize,
+    ) -> BalbSchedule {
+        let subsets = shard_subproblems(problem, plan);
+        // Key solvers by smallest shard camera id; drop solvers whose shard
+        // disappeared so a re-planned fleet cannot leak stale state.
+        let keys: Vec<usize> = plan.shards().iter().map(|s| s[0].0).collect();
+        self.solvers.retain(|k, _| keys.binary_search(k).is_ok());
+        for &k in &keys {
+            self.solvers.entry(k).or_default();
+        }
+        // BTreeMap iteration is key-ascending, which is exactly the shard
+        // order (shards are sorted by smallest member id), so zipping is
+        // positional.
+        let mut tasks: Vec<(&mut BalbSolver, &CameraSubset)> =
+            self.solvers.values_mut().zip(subsets.iter()).collect();
+        par_map_tasks(&mut tasks, threads, |(solver, sub)| {
+            solver.solve(&sub.problem);
+        });
+        let schedules: Vec<&BalbSchedule> =
+            self.solvers.values().map(BalbSolver::schedule).collect();
+        let (schedule, rebalance_moves) = merge_shards(problem, plan, &subsets, &schedules);
+        self.stats = ShardedSolveStats {
+            shards: plan.num_shards(),
+            warm_shards: self
+                .solvers
+                .values()
+                .filter(|s| s.last_solve_was_warm())
+                .count(),
+            rebalance_moves,
+        };
+        schedule
+    }
+}
+
+/// Restricts `problem` to each shard's cameras. Under an exact plan every
+/// object's coverage lies inside one shard, so the per-shard subsets
+/// partition the objects as-is; under a split plan, boundary objects are
+/// first clipped to their home shard so each is solved exactly once.
+fn shard_subproblems(problem: &MvsProblem, plan: &ShardPlan) -> Vec<CameraSubset> {
+    assert_eq!(
+        plan.shard_of.len(),
+        problem.num_cameras(),
+        "shard plan was built for a different fleet"
+    );
+    let restrict = |p: &MvsProblem| -> Vec<CameraSubset> {
+        plan.shards()
+            .iter()
+            .map(|shard| {
+                p.restrict_to_cameras(shard)
+                    .expect("shards are non-empty by construction")
+            })
+            .collect()
+    };
+    if plan.is_exact() {
+        return restrict(problem);
+    }
+    let objects = problem
+        .objects()
+        .iter()
+        .map(|o| {
+            if !plan.is_boundary(o) {
+                return o.clone();
+            }
+            let home = plan.home_shard(o);
+            let mut clipped = o.clone();
+            clipped.sizes.retain(|c, _| plan.shard_of(*c) == home);
+            clipped
+        })
+        .collect();
+    let clipped = MvsProblem::new(problem.cameras().to_vec(), objects)
+        .expect("clipping keeps instances valid");
+    restrict(&clipped)
+}
+
+/// Merges per-shard schedules back onto deployment ids: shard latencies and
+/// owners are lifted through each [`CameraSubset`], the priority is one
+/// global latency sort (the same sort the central solve runs), and under a
+/// split plan the cross-shard rebalance pass then revisits boundary
+/// objects. Returns the schedule and the number of rebalance moves.
+fn merge_shards(
+    problem: &MvsProblem,
+    plan: &ShardPlan,
+    subsets: &[CameraSubset],
+    schedules: &[&BalbSchedule],
+) -> (BalbSchedule, usize) {
+    let m = problem.num_cameras();
+    let mut assignment = Assignment::empty(problem.num_objects());
+    let mut latencies: Vec<f64> = (0..m)
+        .map(|i| problem.profile(CameraId(i)).full_frame_ms())
+        .collect();
+    for (sub, schedule) in subsets.iter().zip(schedules) {
+        for (new, &orig) in sub.cameras.iter().enumerate() {
+            latencies[orig.0] = schedule.camera_latencies_ms[new];
+        }
+        for (new, &orig) in sub.objects.iter().enumerate() {
+            for &owner in schedule.assignment.owners_of(crate::ObjectId(new)) {
+                assignment.assign(orig, sub.original_camera(owner));
+            }
+        }
+    }
+    let moves = if plan.is_exact() {
+        0
+    } else {
+        rebalance(problem, plan, &mut assignment, &mut latencies)
+    };
+    let mut priority: Vec<CameraId> = (0..m).map(CameraId).collect();
+    sort_priority(&mut priority, &latencies);
+    (
+        BalbSchedule {
+            assignment,
+            camera_latencies_ms: latencies,
+            priority,
+        },
+        moves,
+    )
+}
+
+/// Cross-shard rebalance: one deterministic pass over boundary objects in
+/// ascending id order, moving an object from its owner to any covering
+/// camera (in any shard) whenever the move *strictly* reduces the pairwise
+/// latency maximum of the two cameras. Each accepted move leaves every
+/// other camera untouched, so the system latency never increases; an object
+/// is only ever placed on a camera in its coverage set.
+fn rebalance(
+    problem: &MvsProblem,
+    plan: &ShardPlan,
+    assignment: &mut Assignment,
+    latencies: &mut [f64],
+) -> usize {
+    let mut counts: Vec<SizeCounts> = (0..problem.num_cameras())
+        .map(|i| assignment.size_counts(problem, CameraId(i)))
+        .collect();
+    let mut moves = 0;
+    for object in problem.objects() {
+        if !plan.is_boundary(object) {
+            continue;
+        }
+        let owners = assignment.owners_of(object.id);
+        // The rebalance targets the paper's single-owner schedules; an
+        // object something else multi-assigned is left alone.
+        let &[from] = owners else { continue };
+        let from_size = object.size_on(from).expect("owners cover their objects");
+        let from_profile = problem.profile(from);
+        // Hypothetical removal (counts are Copy — trial on a scratch copy).
+        let mut from_counts = counts[from.0];
+        let from_after = latencies[from.0] - from_counts.remove_with_delta(from_size, from_profile);
+        // Best strictly-improving destination, ties to the lowest camera id.
+        let mut best: Option<(f64, CameraId, f64)> = None;
+        for to in object.coverage() {
+            if to == from {
+                continue;
+            }
+            let to_size = object.size_on(to).expect("coverage yields covered cameras");
+            let mut to_counts = counts[to.0];
+            let to_after = latencies[to.0] + to_counts.add_with_delta(to_size, problem.profile(to));
+            let pair_after = from_after.max(to_after);
+            let pair_before = latencies[from.0].max(latencies[to.0]);
+            if pair_after < pair_before
+                && best.is_none_or(|(b, c, _)| pair_after < b || (pair_after == b && to < c))
+            {
+                best = Some((pair_after, to, to_after));
+            }
+        }
+        if let Some((_, to, to_after)) = best {
+            let to_size = object.size_on(to).expect("chosen from coverage");
+            counts[from.0].remove(from_size);
+            counts[to.0].add(to_size);
+            latencies[from.0] = from_after;
+            latencies[to.0] = to_after;
+            assignment.unassign(object.id, from);
+            assignment.assign(object.id, to);
+            moves += 1;
+        }
+    }
+    moves
+}
+
+/// Maps `f` over the items on up to `threads` scoped threads (contiguous
+/// chunks, joined in spawn order), returning outputs in input order. With
+/// one thread it runs inline on the caller's stack.
+fn par_map_items<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard solve thread panicked"))
+            .collect()
+    })
+}
+
+/// Like [`par_map_items`] but over mutable task pairs (warm solvers need
+/// `&mut` access while their subset is shared).
+fn par_map_tasks<F>(tasks: &mut [(&mut BalbSolver, &CameraSubset)], threads: usize, f: F)
+where
+    F: Fn(&mut (&mut BalbSolver, &CameraSubset)) + Sync,
+{
+    let n = tasks.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        tasks.iter_mut().for_each(f);
+        return;
+    }
+    let chunk_len = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .chunks_mut(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter_mut().for_each(f)))
+            .collect();
+        for h in handles {
+            h.join().expect("shard solve thread panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CameraInfo, ObjectId, ProblemConfig};
+    use mvs_geometry::SizeClass;
+    use mvs_vision::{DeviceKind, LatencyProfile};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn camera(i: usize, device: DeviceKind) -> CameraInfo {
+        CameraInfo {
+            id: CameraId(i),
+            profile: LatencyProfile::for_device(device),
+        }
+    }
+
+    fn object(j: usize, coverage: &[(usize, SizeClass)]) -> ObjectInfo {
+        ObjectInfo {
+            id: ObjectId(j),
+            sizes: coverage.iter().map(|&(c, s)| (CameraId(c), s)).collect(),
+        }
+    }
+
+    /// Two independent 2-camera islands plus an isolated camera.
+    fn island_problem() -> MvsProblem {
+        MvsProblem::new(
+            vec![
+                camera(0, DeviceKind::Xavier),
+                camera(1, DeviceKind::Nano),
+                camera(2, DeviceKind::Tx2),
+                camera(3, DeviceKind::Nano),
+                camera(4, DeviceKind::Xavier),
+            ],
+            vec![
+                object(0, &[(0, SizeClass::S128), (1, SizeClass::S64)]),
+                object(1, &[(1, SizeClass::S256)]),
+                object(2, &[(2, SizeClass::S64), (3, SizeClass::S128)]),
+                object(3, &[(3, SizeClass::S64)]),
+                object(4, &[(2, SizeClass::S512)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn coverage_graph_components_are_deterministic_islands() {
+        let p = island_problem();
+        let g = OverlapGraph::from_problem(&p);
+        assert_eq!(g.num_cameras(), 5);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.are_overlapping(CameraId(0), CameraId(1)));
+        assert!(!g.are_overlapping(CameraId(1), CameraId(2)));
+        assert!(!g.is_connected());
+        let comps = g.components();
+        assert_eq!(
+            comps,
+            vec![
+                vec![CameraId(0), CameraId(1)],
+                vec![CameraId(2), CameraId(3)],
+                vec![CameraId(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn polygon_graph_matches_pairwise_intersections() {
+        let polys = vec![
+            Polygon::view_wedge(mvs_geometry::Point2::new(0.0, 0.0), 0.0, 0.4, 2.0, 40.0),
+            Polygon::view_wedge(
+                mvs_geometry::Point2::new(30.0, 0.0),
+                std::f64::consts::PI,
+                0.4,
+                2.0,
+                40.0,
+            ),
+            Polygon::view_wedge(mvs_geometry::Point2::new(500.0, 0.0), 0.0, 0.4, 2.0, 40.0),
+        ];
+        let g = OverlapGraph::from_polygons(&polys);
+        assert!(g.are_overlapping(CameraId(0), CameraId(1)));
+        assert!(!g.are_overlapping(CameraId(0), CameraId(2)));
+        assert_eq!(g.components().len(), 2);
+    }
+
+    #[test]
+    fn component_plan_is_exact_and_partitions() {
+        let p = island_problem();
+        let plan = ShardPlan::from_components(&OverlapGraph::from_problem(&p));
+        assert!(plan.is_exact());
+        assert_eq!(plan.num_shards(), 3);
+        assert_eq!(plan.largest_shard(), 2);
+        assert_eq!(plan.shard_of(CameraId(3)), 1);
+        let mut all: Vec<usize> = plan.shards().iter().flatten().map(|c| c.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_size_split_marks_plan_inexact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = MvsProblem::random(
+            &mut rng,
+            8,
+            60,
+            &ProblemConfig {
+                overlap_prob: 0.6,
+                ..Default::default()
+            },
+        );
+        let g = OverlapGraph::from_problem(&p);
+        assert!(g.is_connected(), "dense instance should be one component");
+        let plan = ShardPlan::with_max_shard_size(&g, 3);
+        assert!(!plan.is_exact());
+        assert!(plan.largest_shard() <= 3);
+        assert!(plan.num_shards() >= 3);
+        let mut all: Vec<usize> = plan.shards().iter().flatten().map(|c| c.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_equals_central_bitwise_on_islands() {
+        let p = island_problem();
+        let plan = ShardPlan::from_components(&OverlapGraph::from_problem(&p));
+        let central = balb_central(&p);
+        for threads in [1, 2, 4] {
+            let sharded = balb_sharded_threaded(&p, &plan, threads);
+            assert_eq!(sharded.assignment, central.assignment, "threads={threads}");
+            assert_eq!(sharded.priority, central.priority, "threads={threads}");
+            let bits = |s: &BalbSchedule| -> Vec<u64> {
+                s.camera_latencies_ms.iter().map(|l| l.to_bits()).collect()
+            };
+            assert_eq!(bits(&sharded), bits(&central), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn warm_sharded_solver_matches_cold_across_frames() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let config = ProblemConfig {
+            overlap_prob: 0.0, // coverage-1 objects: many small components
+            ..Default::default()
+        };
+        let mut frames = vec![MvsProblem::random(&mut rng, 6, 30, &config)];
+        // Steady frame: identical instance. Small frame: one object leaves.
+        frames.push(frames[0].clone());
+        let shrunk = MvsProblem::new(
+            frames[0].cameras().to_vec(),
+            frames[0].objects()[..29]
+                .iter()
+                .cloned()
+                .map(|mut o| {
+                    o.id = ObjectId(o.id.0.min(28));
+                    o
+                })
+                .collect(),
+        )
+        .unwrap();
+        frames.push(shrunk);
+        let mut solver = ShardedBalbSolver::new();
+        for (frame, p) in frames.iter().enumerate() {
+            let plan = ShardPlan::from_components(&OverlapGraph::from_problem(p));
+            let warm = solver.solve(p, &plan, 2);
+            let cold = balb_central(p);
+            assert_eq!(warm, cold, "frame {frame}");
+            assert_eq!(solver.last_stats().shards, plan.num_shards());
+            assert_eq!(solver.last_stats().rebalance_moves, 0);
+            if frame > 0 {
+                assert!(
+                    solver.last_stats().warm_shards > 0,
+                    "steady frame {frame} should warm-start at least one shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_plan_rebalance_reduces_or_keeps_system_latency() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for case in 0..20 {
+            let p = MvsProblem::random(
+                &mut rng,
+                9,
+                70,
+                &ProblemConfig {
+                    overlap_prob: 0.5,
+                    ..Default::default()
+                },
+            );
+            let g = OverlapGraph::from_problem(&p);
+            let plan = ShardPlan::with_max_shard_size(&g, 3);
+            if plan.is_exact() {
+                continue;
+            }
+            let sharded = balb_sharded(&p, &plan);
+            assert!(sharded.assignment.is_feasible(&p), "case {case}");
+            // Every owner can actually see its object.
+            for o in p.objects() {
+                let owners = sharded.assignment.owners_of(o.id);
+                assert_eq!(owners.len(), 1, "case {case} object {}", o.id.0);
+                assert!(
+                    o.covered_by(owners[0]),
+                    "case {case}: object {} assigned outside its coverage",
+                    o.id.0
+                );
+            }
+            // Reported latencies stay consistent with the assignment.
+            for i in 0..p.num_cameras() {
+                let recomputed = sharded.assignment.camera_latency_ms(&p, CameraId(i), true);
+                assert!(
+                    (recomputed - sharded.camera_latencies_ms[i]).abs() < 1e-6,
+                    "case {case} camera {i}"
+                );
+            }
+        }
+    }
+}

@@ -154,6 +154,49 @@ impl Polygon {
         BBox::hull(self.vertices.iter().copied()).expect("polygon has at least three vertices")
     }
 
+    /// Exact overlap test with another convex polygon (separating-axis
+    /// theorem). Touching boundaries count as intersecting.
+    ///
+    /// Two convex polygons are disjoint iff some edge normal of either
+    /// polygon separates their vertex projections, so checking every edge
+    /// normal of both polygons is a complete test — no sampling, unlike
+    /// [`Polygon::overlap_area_approx`]. Used to build camera view-overlap
+    /// graphs, where a false negative would split an overlapping pair into
+    /// different shards.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvs_geometry::{BBox, Polygon};
+    ///
+    /// let a = Polygon::rectangle(&BBox::new(0.0, 0.0, 4.0, 4.0)?);
+    /// let b = Polygon::rectangle(&BBox::new(3.0, 3.0, 7.0, 7.0)?);
+    /// let c = Polygon::rectangle(&BBox::new(5.0, 5.0, 9.0, 9.0)?);
+    /// assert!(a.intersects(&b));
+    /// assert!(!a.intersects(&c));
+    /// # Ok::<(), mvs_geometry::BBoxError>(())
+    /// ```
+    pub fn intersects(&self, other: &Polygon) -> bool {
+        !self.separates(other) && !other.separates(self)
+    }
+
+    /// Whether any edge normal of `self` is a separating axis: all of
+    /// `other`'s vertices lie strictly outside that edge's half-plane.
+    fn separates(&self, other: &Polygon) -> bool {
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let edge = self.vertices[(i + 1) % n] - a;
+            // CCW winding: the interior is on the left of every edge, so a
+            // strictly negative cross product for *every* vertex of `other`
+            // puts it entirely in the outside half-plane.
+            if other.vertices.iter().all(|&v| edge.cross(v - a) < 0.0) {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Approximate overlap area with `other`, estimated on a `samples`×
     /// `samples` grid over this polygon's bounding box.
     ///
@@ -238,5 +281,71 @@ mod tests {
         let a = Polygon::rectangle(&BBox::new(0.0, 0.0, 1.0, 1.0).unwrap());
         let b = Polygon::rectangle(&BBox::new(5.0, 5.0, 6.0, 6.0).unwrap());
         assert_eq!(a.overlap_area_approx(&b, 20), 0.0);
+    }
+
+    #[test]
+    fn intersects_basic_cases() {
+        let a = Polygon::rectangle(&BBox::new(0.0, 0.0, 4.0, 4.0).unwrap());
+        let overlapping = Polygon::rectangle(&BBox::new(2.0, 2.0, 6.0, 6.0).unwrap());
+        let disjoint = Polygon::rectangle(&BBox::new(5.0, 0.0, 9.0, 4.0).unwrap());
+        let touching = Polygon::rectangle(&BBox::new(4.0, 0.0, 8.0, 4.0).unwrap());
+        let inside = Polygon::rectangle(&BBox::new(1.0, 1.0, 2.0, 2.0).unwrap());
+        assert!(a.intersects(&overlapping));
+        assert!(overlapping.intersects(&a));
+        assert!(!a.intersects(&disjoint));
+        assert!(!disjoint.intersects(&a));
+        assert!(a.intersects(&touching), "shared edge counts as overlap");
+        assert!(a.intersects(&inside), "containment is overlap");
+        assert!(inside.intersects(&a));
+        assert!(a.intersects(&a));
+    }
+
+    #[test]
+    fn intersects_needs_both_polygons_axes() {
+        // Two rotated wedges whose bounding boxes overlap but whose shapes
+        // do not: only an edge normal of one of them separates, so a
+        // one-sided SAT would report a false positive.
+        let a = Polygon::view_wedge(Point2::ORIGIN, std::f64::consts::FRAC_PI_4, 0.3, 1.0, 10.0);
+        let b = Polygon::view_wedge(
+            Point2::new(10.0, 0.0),
+            3.0 * std::f64::consts::FRAC_PI_4,
+            0.3,
+            1.0,
+            10.0,
+        );
+        assert!(
+            a.bbox().iou(&b.bbox()) > 0.0,
+            "test premise: bounding boxes overlap"
+        );
+        assert!(a.intersects(&b) == b.intersects(&a));
+    }
+
+    #[test]
+    fn intersects_agrees_with_sampled_overlap() {
+        // SAT vs. the Monte-Carlo overlap estimator on a grid of wedges:
+        // wherever sampling finds area, SAT must agree; where SAT reports
+        // disjoint, sampling must find (almost) nothing.
+        let mk = |x: f64, heading: f64| {
+            Polygon::view_wedge(Point2::new(x, 0.0), heading, 0.48, 4.0, 60.0)
+        };
+        for dx in [0.0, 30.0, 60.0, 90.0, 150.0] {
+            for heading in [0.0, 1.2, std::f64::consts::PI] {
+                let a = mk(0.0, 0.0);
+                let b = mk(dx, heading);
+                let sampled = a.overlap_area_approx(&b, 60);
+                if sampled > 1.0 {
+                    assert!(
+                        a.intersects(&b),
+                        "dx={dx} heading={heading}: sampled {sampled}"
+                    );
+                }
+                if !a.intersects(&b) {
+                    assert!(
+                        sampled <= 1.0,
+                        "dx={dx} heading={heading}: sampled {sampled}"
+                    );
+                }
+            }
+        }
     }
 }

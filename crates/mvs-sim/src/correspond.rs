@@ -36,10 +36,24 @@ impl CorrespondenceData {
         let dt = scenario.frame_dt_s();
         let steps = (duration_s / dt).round() as usize;
         let m = scenario.num_cameras();
+        // City-scale fleets make the all-pairs sweep quadratic in hundreds
+        // of cameras, while almost every pair is geometrically disjoint:
+        // prune to view-polygon-intersecting pairs there. The paper presets
+        // keep the historical all-pairs behaviour.
+        let related = if scenario.kind == crate::scenario::ScenarioKind::City {
+            let polygons: Vec<_> = scenario.cameras.iter().map(|c| c.view_polygon()).collect();
+            Some(mvs_core::OverlapGraph::from_polygons(&polygons))
+        } else {
+            None
+        };
+        let keep = |src: usize, dst: usize| match &related {
+            Some(graph) => graph.are_overlapping(mvs_core::CameraId(src), mvs_core::CameraId(dst)),
+            None => true,
+        };
         let mut pairs: BTreeMap<(usize, usize), Vec<CorrespondenceSample>> = BTreeMap::new();
         for src in 0..m {
             for dst in 0..m {
-                if src != dst {
+                if src != dst && keep(src, dst) {
                     pairs.insert((src, dst), Vec::new());
                 }
             }
@@ -57,7 +71,7 @@ impl CorrespondenceData {
                 .collect();
             for src in 0..m {
                 for dst in 0..m {
-                    if src == dst {
+                    if src == dst || !keep(src, dst) {
                         continue;
                     }
                     let samples = pairs.get_mut(&(src, dst)).expect("initialized above");

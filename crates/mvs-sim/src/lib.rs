@@ -59,7 +59,7 @@ pub use runtime::{
     run_pipeline, run_pipeline_traced, Algorithm, OverheadModel, PipelineConfig, PipelineResult,
     PipelineStats,
 };
-pub use scenario::{Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
+pub use scenario::{CityConfig, Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
 pub use trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};
 pub use worker::resolve_threads;
 pub use world::{Lane, World, WorldObject};

@@ -29,8 +29,8 @@ use crate::scenario::Scenario;
 use crate::worker::{par_map, resolve_threads, CameraWorker, FrameScratch};
 use crate::world::World;
 use mvs_core::{
-    scan_takeovers_into, BalbSolver, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo,
-    ShadowTrack, ShadowVerdict,
+    balb_sharded_threaded, scan_takeovers_into, BalbSolver, CameraId, CameraInfo, MvsProblem,
+    ObjectId, ObjectInfo, OverlapGraph, ShadowTrack, ShadowVerdict, ShardPlan, ShardedBalbSolver,
 };
 use mvs_geometry::{BBox, SizeClass};
 use mvs_metrics::{
@@ -189,6 +189,15 @@ pub struct PipelineConfig {
     /// with `redundancy == 1`; degraded or redundant horizons always solve
     /// cold.
     pub warm_start: bool,
+    /// When true, fully-synced single-owner horizons solve the central
+    /// stage shard-by-shard along the instance's view-overlap components
+    /// (in parallel across [`PipelineConfig::threads`]) instead of as one
+    /// monolithic BALB instance — the city-scale path. Results are bitwise
+    /// identical either way: instance-coverage shard plans are always
+    /// exact, so the sharded schedule reproduces `balb_central` (see
+    /// `mvs_core::balb_sharded`). Degraded or redundant horizons fall back
+    /// to the existing cold paths. Default false.
+    pub shard_solver: bool,
 }
 
 impl PipelineConfig {
@@ -216,6 +225,7 @@ impl PipelineConfig {
             overhead: OverheadModel::default(),
             faults: FaultModel::none(),
             warm_start: true,
+            shard_solver: false,
         }
     }
 }
@@ -338,6 +348,9 @@ struct Pipeline<'a> {
     /// Persistent warm-start solver for the central stage (see
     /// [`PipelineConfig::warm_start`]).
     solver: BalbSolver,
+    /// Persistent per-shard warm solvers for the sharded central stage
+    /// (see [`PipelineConfig::shard_solver`]).
+    sharded_solver: ShardedBalbSolver,
     /// Reused snapshot of the per-camera liveness flags for the current
     /// key frame (the snapshot decouples the flags from later fault-state
     /// mutations without a per-key-frame allocation).
@@ -452,6 +465,7 @@ impl<'a> Pipeline<'a> {
             faults: FaultState::new(config.faults, config.seed, m),
             assignment: Vec::new(),
             solver: BalbSolver::new(),
+            sharded_solver: ShardedBalbSolver::new(),
             alive_scratch: Vec::new(),
             upload_scratch: Vec::new(),
             central_per_frame_ms: 0.0,
@@ -888,7 +902,37 @@ impl<'a> Pipeline<'a> {
                     // … and solve on the synced sub-problem when degraded,
                     // lifting owners and priority back to deployment ids.
                     if synced_cams.len() == m {
-                        if self.config.warm_start && redundancy == 1 {
+                        if self.config.shard_solver && redundancy == 1 {
+                            // City-scale path: solve independently per
+                            // view-overlap component, in parallel. The
+                            // instance's own coverage graph always yields
+                            // an exact plan, so this is bitwise identical
+                            // to the monolithic solve below.
+                            let plan =
+                                ShardPlan::from_components(&OverlapGraph::from_problem(&problem));
+                            let schedule = if self.config.warm_start {
+                                self.sharded_solver.solve(&problem, &plan, self.threads)
+                            } else {
+                                balb_sharded_threaded(&problem, &plan, self.threads)
+                            };
+                            span_into(
+                                self.tracer.as_mut().map(|t| t.coordinator()),
+                                Stage::Central,
+                                0.0,
+                                problem.num_objects(),
+                            );
+                            self.assignment = (0..globals.len())
+                                .map(|g| {
+                                    schedule
+                                        .assignment
+                                        .owners_of(ObjectId(g))
+                                        .iter()
+                                        .map(|c| c.0)
+                                        .collect()
+                                })
+                                .collect();
+                            priority = schedule.priority;
+                        } else if self.config.warm_start && redundancy == 1 {
                             // Fully-synced single-owner horizon: repair the
                             // previous schedule instead of recomputing.
                             // Bitwise-identical to the cold path (the
@@ -1488,6 +1532,99 @@ mod tests {
             },
         );
         assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn shard_solver_matches_central_bitwise_at_any_thread_count() {
+        // The sharded central stage must be invisible in the results: the
+        // per-component solves merged back together are bitwise identical
+        // to the monolithic solve, at 1, 2, and 4 threads, warm or cold.
+        let sc = Scenario::new(ScenarioKind::S2);
+        for algorithm in [Algorithm::Balb, Algorithm::BalbCen] {
+            let mut base = quick_config(algorithm);
+            base.measured_overheads = false;
+            for threads in [1usize, 2, 4] {
+                for warm_start in [true, false] {
+                    let sharded = run_pipeline(
+                        &sc,
+                        &PipelineConfig {
+                            threads,
+                            warm_start,
+                            shard_solver: true,
+                            ..base.clone()
+                        },
+                    );
+                    let central = run_pipeline(
+                        &sc,
+                        &PipelineConfig {
+                            threads,
+                            warm_start,
+                            shard_solver: false,
+                            ..base.clone()
+                        },
+                    );
+                    assert_eq!(
+                        sharded, central,
+                        "{algorithm}: sharded vs central at {threads} threads (warm={warm_start})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_solver_matches_central_under_faults() {
+        // Degraded horizons bypass the sharded path; fully-synced horizons
+        // between them shard. The mix must still be bitwise identical to a
+        // never-sharded run.
+        let sc = Scenario::new(ScenarioKind::S2);
+        let mut base = quick_config(Algorithm::Balb);
+        base.measured_overheads = false;
+        base.faults = FaultModel {
+            dropout_per_horizon: 0.3,
+            rejoin_per_horizon: 0.5,
+            keyframe_loss: 0.2,
+            ..FaultModel::none()
+        };
+        let sharded = run_pipeline(
+            &sc,
+            &PipelineConfig {
+                shard_solver: true,
+                ..base.clone()
+            },
+        );
+        let central = run_pipeline(
+            &sc,
+            &PipelineConfig {
+                shard_solver: false,
+                ..base.clone()
+            },
+        );
+        assert_eq!(sharded, central);
+    }
+
+    #[test]
+    fn shard_solver_runs_a_city_scenario() {
+        // A small city fleet end-to-end on the sharded path: every
+        // district schedules, the run stays deterministic, and tracing
+        // records central spans.
+        let sc = Scenario::city(&crate::scenario::CityConfig {
+            cameras: 12,
+            seed: 11,
+            intensity: 1.2,
+        });
+        let mut cfg = quick_config(Algorithm::BalbCen);
+        cfg.measured_overheads = false;
+        cfg.shard_solver = true;
+        let (a, trace) = run_pipeline_traced(&sc, &cfg);
+        let (b, _) = run_pipeline_traced(&sc, &cfg);
+        assert_eq!(a, b, "sharded city run must be deterministic");
+        assert!(a.recall > 0.5, "recall {}", a.recall);
+        let stats = trace.stage_stats();
+        assert!(
+            stats.contains_key(&Stage::Central),
+            "sharded path must still record central spans"
+        );
     }
 
     #[test]

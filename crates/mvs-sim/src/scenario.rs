@@ -5,6 +5,11 @@
 //! | S1       | 5       | 2×Xavier, 2×TX2, 1×Nano        | signalized intersection, platooned |
 //! | S2       | 2       | 1×Xavier, 1×Nano               | residential roadside, sparse |
 //! | S3       | 3       | 1×Xavier, 1×TX2, 1×Nano        | busy fork road, small overlaps |
+//!
+//! Beyond the paper's deployments, [`Scenario::city`] procedurally
+//! generates city-scale fleets (100–1000 cameras) on a seeded road grid:
+//! camera clusters around intersections ("districts") with per-district
+//! traffic intensity — the workload for the sharded scheduling path.
 
 use crate::camera::CameraModel;
 use crate::trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};
@@ -24,10 +29,15 @@ pub enum ScenarioKind {
     S2,
     /// Three cameras on a busy fork road with small view overlaps.
     S3,
+    /// A procedural city-scale fleet (see [`Scenario::city`]); defaults to
+    /// [`CityConfig::default`].
+    City,
 }
 
 impl ScenarioKind {
-    /// All scenarios in paper order.
+    /// The paper's scenarios in paper order. `City` is intentionally not
+    /// listed: it is a procedural family, not a fixed preset, and at fleet
+    /// scale it is far too large for the preset sweeps that iterate `ALL`.
     pub const ALL: [ScenarioKind; 3] = [ScenarioKind::S1, ScenarioKind::S2, ScenarioKind::S3];
 }
 
@@ -37,6 +47,7 @@ impl fmt::Display for ScenarioKind {
             ScenarioKind::S1 => write!(f, "S1"),
             ScenarioKind::S2 => write!(f, "S2"),
             ScenarioKind::S3 => write!(f, "S3"),
+            ScenarioKind::City => write!(f, "city"),
         }
     }
 }
@@ -65,6 +76,7 @@ impl Scenario {
             ScenarioKind::S1 => s1(),
             ScenarioKind::S2 => s2(),
             ScenarioKind::S3 => s3(),
+            ScenarioKind::City => Scenario::city(&CityConfig::default()),
         }
     }
 
@@ -288,6 +300,261 @@ fn s3() -> Scenario {
         lanes,
         fps: 10.0,
         occlusion_threshold: 0.6,
+    }
+}
+
+/// Configuration of the procedural city generator ([`Scenario::city`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Fleet size. Cameras are grouped into districts of up to
+    /// [`CityConfig::CAMERAS_PER_DISTRICT`].
+    pub cameras: usize,
+    /// Seed of the layout and traffic randomness; equal configs generate
+    /// byte-identical scenarios.
+    pub seed: u64,
+    /// Global traffic intensity multiplier applied on top of the seeded
+    /// per-district multipliers (1.0 = nominal).
+    pub intensity: f64,
+}
+
+impl CityConfig {
+    /// Cameras clustered around each district intersection.
+    pub const CAMERAS_PER_DISTRICT: usize = 8;
+
+    /// Number of districts this config generates.
+    pub fn districts(&self) -> usize {
+        self.cameras.div_ceil(Self::CAMERAS_PER_DISTRICT)
+    }
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            cameras: 128,
+            seed: 17,
+            intensity: 1.0,
+        }
+    }
+}
+
+/// District intersections sit on a square grid with this spacing. It
+/// exceeds twice the default camera range (90 m), so view wedges from
+/// different districts can never intersect: the static overlap graph
+/// decomposes into one connected component per district by construction.
+const CITY_BLOCK_M: f64 = 300.0;
+
+impl Scenario {
+    /// Procedurally generates a city-scale deployment from a seeded road
+    /// grid: districts of up to [`CityConfig::CAMERAS_PER_DISTRICT`]
+    /// cameras ring their intersection (all facing the centre, so each
+    /// district forms one view-overlap cluster), two signalized crossing
+    /// streets per district carry traffic, and a seeded per-district
+    /// multiplier — scaled by [`CityConfig::intensity`] — sets how busy
+    /// each district is. Devices cycle Xavier → TX2 → Nano across the
+    /// fleet.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mvs_sim::{CityConfig, Scenario};
+    ///
+    /// let city = Scenario::city(&CityConfig { cameras: 32, seed: 7, intensity: 1.0 });
+    /// assert_eq!(city.num_cameras(), 32);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cameras` is zero or `intensity` is not a positive finite
+    /// number.
+    pub fn city(config: &CityConfig) -> Scenario {
+        use rand::SeedableRng;
+        assert!(config.cameras > 0, "city fleet needs at least one camera");
+        assert!(
+            config.intensity.is_finite() && config.intensity > 0.0,
+            "intensity must be positive and finite"
+        );
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+        let districts = config.districts();
+        let grid_side = (districts as f64).sqrt().ceil() as usize;
+        let device_cycle = [DeviceKind::Xavier, DeviceKind::Tx2, DeviceKind::Nano];
+        let frame = FrameDims::REGULAR;
+
+        let mut cameras = Vec::with_capacity(config.cameras);
+        let mut devices = Vec::with_capacity(config.cameras);
+        let mut lanes = Vec::new();
+        for district in 0..districts {
+            let row = district / grid_side;
+            let col = district % grid_side;
+            let center = Point2::new(col as f64 * CITY_BLOCK_M, row as f64 * CITY_BLOCK_M);
+
+            // Cameras ring the intersection and face (roughly) its centre,
+            // so every wedge in the district contains the centre point and
+            // the district is a single overlap component.
+            let in_district = CityConfig::CAMERAS_PER_DISTRICT.min(config.cameras - cameras.len());
+            for k in 0..in_district {
+                let angle = std::f64::consts::TAU * k as f64 / in_district as f64
+                    + rng.gen_range(-0.12..0.12);
+                let radius = rng.gen_range(30.0..42.0);
+                let position = center + Point2::new(radius, 0.0).rotated(angle);
+                let target =
+                    center + Point2::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0));
+                cameras.push(CameraModel::looking_at(position, target, frame));
+                devices.push(device_cycle[devices.len() % device_cycle.len()]);
+            }
+
+            // Two signalized crossing streets, S1-style: EW green first,
+            // NS in the opposite phase, with a per-district phase offset so
+            // the city does not pulse in lockstep.
+            let mult = rng.gen_range(0.5..1.5) * config.intensity;
+            let rate = 0.12 * mult;
+            let phase = rng.gen_range(0.0..40.0);
+            let light = |offset_s: f64| TrafficLight {
+                period_s: 40.0,
+                green_fraction: 0.45,
+                offset_s,
+                stop_line_s: 100.0,
+            };
+            let (cx, cy) = (center.x, center.y);
+            lanes.push(lane(
+                vec![
+                    Point2::new(cx - 110.0, cy - 3.0),
+                    Point2::new(cx + 110.0, cy - 3.0),
+                ],
+                9.0,
+                rate,
+                Some(light(phase)),
+            ));
+            lanes.push(lane(
+                vec![
+                    Point2::new(cx + 110.0, cy + 3.0),
+                    Point2::new(cx - 110.0, cy + 3.0),
+                ],
+                9.0,
+                rate,
+                Some(light(phase)),
+            ));
+            lanes.push(lane(
+                vec![
+                    Point2::new(cx + 3.0, cy - 110.0),
+                    Point2::new(cx + 3.0, cy + 110.0),
+                ],
+                9.0,
+                rate,
+                Some(light(phase + 20.0)),
+            ));
+            lanes.push(lane(
+                vec![
+                    Point2::new(cx - 3.0, cy + 110.0),
+                    Point2::new(cx - 3.0, cy - 110.0),
+                ],
+                9.0,
+                rate,
+                Some(light(phase + 20.0)),
+            ));
+        }
+        Scenario {
+            kind: ScenarioKind::City,
+            cameras,
+            devices,
+            lanes,
+            fps: 10.0,
+            occlusion_threshold: 0.75,
+        }
+    }
+}
+
+#[cfg(test)]
+mod city_tests {
+    use super::*;
+    use mvs_core::OverlapGraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn city_generates_requested_fleet() {
+        let cfg = CityConfig {
+            cameras: 20,
+            seed: 3,
+            intensity: 1.0,
+        };
+        let sc = Scenario::city(&cfg);
+        assert_eq!(sc.kind, ScenarioKind::City);
+        assert_eq!(sc.num_cameras(), 20);
+        assert_eq!(sc.devices.len(), 20);
+        assert_eq!(cfg.districts(), 3);
+        assert_eq!(sc.lanes.len(), 4 * cfg.districts());
+        for d in [DeviceKind::Xavier, DeviceKind::Tx2, DeviceKind::Nano] {
+            assert!(sc.devices.contains(&d), "device mix should cycle {d:?}");
+        }
+    }
+
+    #[test]
+    fn city_generation_is_deterministic_in_the_seed() {
+        let cfg = CityConfig {
+            cameras: 24,
+            seed: 99,
+            intensity: 1.0,
+        };
+        assert_eq!(Scenario::city(&cfg), Scenario::city(&cfg));
+        let other = Scenario::city(&CityConfig { seed: 100, ..cfg });
+        assert_ne!(Scenario::city(&cfg), other);
+    }
+
+    #[test]
+    fn city_overlap_graph_has_one_component_per_district() {
+        let cfg = CityConfig {
+            cameras: 48,
+            seed: 5,
+            intensity: 1.0,
+        };
+        let sc = Scenario::city(&cfg);
+        let polygons: Vec<_> = sc.cameras.iter().map(|c| c.view_polygon()).collect();
+        let graph = OverlapGraph::from_polygons(&polygons);
+        let components = graph.components();
+        assert_eq!(components.len(), cfg.districts());
+        for component in &components {
+            assert!(component.len() <= CityConfig::CAMERAS_PER_DISTRICT);
+            // Districts are contiguous camera-id ranges by construction.
+            let lo = component[0].0;
+            let ids: Vec<usize> = component.iter().map(|c| c.0).collect();
+            assert_eq!(ids, (lo..lo + component.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn small_city_produces_traffic_in_every_district() {
+        let sc = Scenario::city(&CityConfig {
+            cameras: 16,
+            seed: 11,
+            intensity: 1.2,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let series = sc.workload_series(60.0, 2.0, &mut rng);
+        let seeing = series
+            .iter()
+            .filter(|s| s.iter().sum::<usize>() > 0)
+            .count();
+        assert!(
+            seeing >= 12,
+            "only {seeing}/16 city cameras ever saw an object"
+        );
+    }
+
+    #[test]
+    fn intensity_scales_traffic() {
+        let quiet = Scenario::city(&CityConfig {
+            cameras: 8,
+            seed: 4,
+            intensity: 0.4,
+        });
+        let busy = Scenario::city(&CityConfig {
+            cameras: 8,
+            seed: 4,
+            intensity: 2.0,
+        });
+        let total_rate =
+            |sc: &Scenario| -> f64 { sc.lanes.iter().map(|l| l.spawn.rate_per_s).sum() };
+        assert!(total_rate(&busy) > 4.0 * total_rate(&quiet));
     }
 }
 

@@ -1,19 +1,22 @@
 //! `mvs` — command-line front end for the multi-view scheduling pipeline.
 //!
 //! ```text
-//! mvs run <s1|s2|s3> <algorithm> [options]   run one pipeline configuration
-//! mvs compare <s1|s2|s3> [options]           run every algorithm side by side
-//! mvs workload <s1|s2|s3>                    per-camera workload series (Fig. 2)
+//! mvs run <scenario> <algorithm> [options]   run one pipeline configuration
+//! mvs compare <scenario> [options]           run every algorithm side by side
+//! mvs workload <scenario>                    per-camera workload series (Fig. 2)
 //! ```
 //!
+//! Scenarios: the paper presets `s1`, `s2`, `s3`, plus `city` — a
+//! procedural city-scale fleet sized by `--cameras`/`--intensity`.
 //! Algorithms: `full`, `balb`, `balb-ind`, `balb-cen`, `sp`, `sp-oracle`.
 //! Options: `--horizon N`, `--train-s S`, `--eval-s S`, `--seed N`,
 //! `--redundancy N`, `--no-batching`, `--no-warm-start`, `--threads N`,
-//! `--trace DIR`.
+//! `--trace DIR`, `--cameras N`, `--intensity X`, `--shard-solver`.
 
 use multiview_scheduler::metrics::{sparkline_fit, TextTable};
 use multiview_scheduler::sim::{
-    run_pipeline, run_pipeline_traced, Algorithm, PipelineConfig, Scenario,
+    run_pipeline, run_pipeline_traced, Algorithm, CityConfig, PipelineConfig, Scenario,
+    ScenarioKind,
 };
 use multiview_scheduler::trace::Trace;
 use rand::SeedableRng;
@@ -23,7 +26,7 @@ use std::process::ExitCode;
 mod cli {
     //! Hand-rolled argument parsing (kept dependency-free and testable).
 
-    use multiview_scheduler::sim::{Algorithm, ScenarioKind};
+    use multiview_scheduler::sim::{Algorithm, CityConfig, ScenarioKind};
 
     /// A parsed invocation.
     #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +73,15 @@ mod cli {
         /// When set, record per-stage spans and write the trace exports
         /// (Chrome JSON, Prometheus text, golden text) into this directory.
         pub trace_dir: Option<String>,
+        /// Fleet size of the `city` scenario (ignored by the paper
+        /// presets, whose camera counts are fixed).
+        pub cameras: usize,
+        /// Traffic intensity multiplier of the `city` scenario.
+        pub intensity: f64,
+        /// Solve key frames shard-by-shard over the camera overlap graph
+        /// instead of monolithically (identical schedules; compute-only
+        /// knob for large fleets).
+        pub shard_solver: bool,
     }
 
     impl Default for Options {
@@ -84,6 +96,9 @@ mod cli {
                 no_warm_start: false,
                 threads: 0,
                 trace_dir: None,
+                cameras: CityConfig::default().cameras,
+                intensity: 1.0,
+                shard_solver: false,
             }
         }
     }
@@ -124,8 +139,11 @@ mod cli {
             Some("s1") | Some("S1") => Ok(ScenarioKind::S1),
             Some("s2") | Some("S2") => Ok(ScenarioKind::S2),
             Some("s3") | Some("S3") => Ok(ScenarioKind::S3),
-            Some(other) => Err(format!("unknown scenario `{other}` (expected s1|s2|s3)")),
-            None => Err("missing scenario (expected s1|s2|s3)".to_string()),
+            Some("city") => Ok(ScenarioKind::City),
+            Some(other) => Err(format!(
+                "unknown scenario `{other}` (expected s1|s2|s3|city)"
+            )),
+            None => Err("missing scenario (expected s1|s2|s3|city)".to_string()),
         }
     }
 
@@ -187,7 +205,24 @@ mod cli {
                 }
                 "--no-batching" => options.disable_batching = true,
                 "--no-warm-start" => options.no_warm_start = true,
+                "--shard-solver" => options.shard_solver = true,
                 "--trace" => options.trace_dir = Some(value("--trace")?),
+                "--cameras" => {
+                    options.cameras = value("--cameras")?
+                        .parse()
+                        .map_err(|e| format!("--cameras: {e}"))?;
+                    if options.cameras == 0 {
+                        return Err("--cameras must be positive".to_string());
+                    }
+                }
+                "--intensity" => {
+                    options.intensity = value("--intensity")?
+                        .parse()
+                        .map_err(|e| format!("--intensity: {e}"))?;
+                    if !(options.intensity.is_finite() && options.intensity > 0.0) {
+                        return Err("--intensity must be positive and finite".to_string());
+                    }
+                }
                 "--threads" => {
                     options.threads = value("--threads")?
                         .parse()
@@ -279,6 +314,38 @@ mod cli {
         }
 
         #[test]
+        fn parses_city_scenario_with_knobs() {
+            let c = parse(&args(
+                "run city balb --cameras 256 --intensity 2.5 --seed 7 --shard-solver",
+            ))
+            .unwrap();
+            match c {
+                Command::Run {
+                    scenario, options, ..
+                } => {
+                    assert_eq!(scenario, ScenarioKind::City);
+                    assert_eq!(options.cameras, 256);
+                    assert_eq!(options.intensity, 2.5);
+                    assert_eq!(options.seed, 7);
+                    assert!(options.shard_solver);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn city_knob_defaults_match_city_config() {
+            match parse(&args("run city balb-cen")).unwrap() {
+                Command::Run { options, .. } => {
+                    assert_eq!(options.cameras, CityConfig::default().cameras);
+                    assert_eq!(options.intensity, 1.0);
+                    assert!(!options.shard_solver);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
         fn rejects_bad_input() {
             assert!(parse(&args("run s9 balb")).is_err());
             assert!(parse(&args("run s1 warp")).is_err());
@@ -287,6 +354,9 @@ mod cli {
             assert!(parse(&args("frobnicate")).is_err());
             assert!(parse(&args("run s1 balb --redundancy 0")).is_err());
             assert!(parse(&args("run s1 balb --trace")).is_err());
+            assert!(parse(&args("run city balb --cameras 0")).is_err());
+            assert!(parse(&args("run city balb --intensity 0")).is_err());
+            assert!(parse(&args("run city balb --intensity nan")).is_err());
         }
 
         #[test]
@@ -316,9 +386,14 @@ const USAGE: &str = "\
 mvs — multi-view scheduling of onboard live video analytics (ICDCS 2022)
 
 USAGE:
-    mvs run <s1|s2|s3> <algorithm> [options]   run one pipeline configuration
-    mvs compare <s1|s2|s3> [options]           run every algorithm side by side
-    mvs workload <s1|s2|s3>                    per-camera workload series (Fig. 2)
+    mvs run <scenario> <algorithm> [options]   run one pipeline configuration
+    mvs compare <scenario> [options]           run every algorithm side by side
+    mvs workload <scenario>                    per-camera workload series (Fig. 2)
+
+SCENARIOS:
+    s1 s2 s3    the paper's deployment presets
+    city        procedural city-scale fleet (size it with --cameras,
+                load it with --intensity; generated from --seed)
 
 ALGORITHMS:
     full        full-frame inspection on every frame
@@ -345,6 +420,11 @@ OPTIONS:
                       write DIR/trace.chrome.json (chrome://tracing),
                       DIR/stages.prom (Prometheus text), DIR/trace.golden.txt
                       (golden format), plus a per-stage latency table.
+    --cameras N       city fleet size                (default 128; city only)
+    --intensity X     city traffic multiplier        (default 1.0; city only)
+    --shard-solver    solve key frames shard-by-shard over the camera
+                      overlap graph (identical schedules; compute-only
+                      knob for large fleets)
 ";
 
 /// Prints the per-stage latency table and writes the three trace exports.
@@ -394,7 +474,21 @@ fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
         disable_batching: options.disable_batching,
         warm_start: !options.no_warm_start,
         threads: options.threads,
+        shard_solver: options.shard_solver,
         ..PipelineConfig::paper_default(algorithm)
+    }
+}
+
+/// Builds the scenario, honoring the city knobs for `city` (the paper
+/// presets have fixed geometry and ignore them).
+fn scenario_from(kind: ScenarioKind, options: &cli::Options) -> Scenario {
+    match kind {
+        ScenarioKind::City => Scenario::city(&CityConfig {
+            cameras: options.cameras,
+            seed: options.seed,
+            intensity: options.intensity,
+        }),
+        _ => Scenario::new(kind),
     }
 }
 
@@ -414,7 +508,7 @@ fn main() -> ExitCode {
             algorithm,
             options,
         } => {
-            let sc = Scenario::new(scenario);
+            let sc = scenario_from(scenario, &options);
             println!(
                 "running {algorithm} on {scenario} ({} cameras)…",
                 sc.num_cameras()
@@ -455,7 +549,7 @@ fn main() -> ExitCode {
             }
         }
         cli::Command::Compare { scenario, options } => {
-            let sc = Scenario::new(scenario);
+            let sc = scenario_from(scenario, &options);
             let mut table = TextTable::new(vec!["algorithm", "recall", "latency (ms)", "speedup"]);
             let mut full = None;
             for algorithm in [
