@@ -346,6 +346,22 @@ impl BalbSolver {
         self.last_was_warm
     }
 
+    /// Discards the previous solve's warm state: the next solve runs cold,
+    /// exactly as on a fresh solver. Solve counters survive.
+    ///
+    /// A multi-tenant serving front-end calls this when it reconfigures a
+    /// tenant (e.g. sheds redundancy under admission control): warm state
+    /// describes schedules of the old configuration and must not seed
+    /// repairs of the new one.
+    pub fn reset(&mut self) {
+        self.problem = None;
+        self.order.clear();
+        self.decisions.clear();
+        self.counts.clear();
+        self.next_order.clear();
+        self.last_was_warm = false;
+    }
+
     /// The schedule produced by the most recent solve.
     ///
     /// # Panics

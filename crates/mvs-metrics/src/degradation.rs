@@ -49,6 +49,11 @@ pub struct DegradationCounters {
     /// Camera-horizons spent desynchronized: the camera was alive but
     /// missed the key-frame round trip and ran on a stale mask.
     pub desynced_horizons: u64,
+    /// Key frames at which *no* camera completed the round trip: the whole
+    /// fleet coasted on stale masks and tracks instead of re-scheduling
+    /// (and instead of crashing — see the serving model in DESIGN.md).
+    #[serde(default)]
+    pub coasted_horizons: u64,
     /// Ground-truth objects visible only to dead cameras — scheduling
     /// coverage irrecoverably lost to the fault, counted once per frame
     /// per object while the outage lasts.
@@ -67,6 +72,7 @@ impl DegradationCounters {
         self.lost_downlinks += other.lost_downlinks;
         self.retransmits += other.retransmits;
         self.desynced_horizons += other.desynced_horizons;
+        self.coasted_horizons += other.coasted_horizons;
         self.coverage_lost_objects += other.coverage_lost_objects;
         self.rejected_samples += other.rejected_samples;
     }
@@ -103,6 +109,7 @@ mod tests {
             lost_downlinks: 5,
             retransmits: 6,
             desynced_horizons: 7,
+            coasted_horizons: 10,
             coverage_lost_objects: 8,
             rejected_samples: 9,
         };
@@ -118,12 +125,26 @@ mod tests {
                 lost_downlinks: 10,
                 retransmits: 12,
                 desynced_horizons: 14,
+                coasted_horizons: 20,
                 coverage_lost_objects: 16,
                 rejected_samples: 18,
             }
         );
         assert!(sum.any());
         assert_eq!(sum.lost_messages(), 18);
+    }
+
+    #[test]
+    fn deserializes_without_coasted_field() {
+        // Counters serialized before the coasted-horizon counter existed
+        // (checked-in bench baselines) must still load.
+        let json = r#"{"dropouts":1,"rejoins":0,"degraded_frames":0,
+                       "lost_uploads":0,"lost_downlinks":0,"retransmits":0,
+                       "desynced_horizons":0,"coverage_lost_objects":0,
+                       "rejected_samples":0}"#;
+        let c: DegradationCounters = serde_json::from_str(json).expect("deserialize");
+        assert_eq!(c.coasted_horizons, 0);
+        assert_eq!(c.dropouts, 1);
     }
 
     #[test]

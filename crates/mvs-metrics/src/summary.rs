@@ -7,6 +7,10 @@ use serde::{Deserialize, Serialize};
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
+    /// Non-finite samples skipped instead of summarized (zero unless the
+    /// input was poisoned; see [`Summary::of_lenient`]).
+    #[serde(default)]
+    pub rejected: usize,
     /// Arithmetic mean (`0.0` for empty input).
     pub mean: f64,
     /// Minimum (`0.0` for empty input).
@@ -27,17 +31,37 @@ pub struct Summary {
 impl Summary {
     /// Computes the summary of a slice.
     ///
+    /// Callers are expected to hand in finite samples; a non-finite sample
+    /// is a bug in the producer, so debug builds assert on it. Release
+    /// builds — where a single poisoned sample must not take down report
+    /// generation in a long-running service — fall back to
+    /// [`Summary::of_lenient`], which skips the sample and counts it in
+    /// [`Summary::rejected`] (the same contract as `Running::try_push`).
+    ///
     /// # Panics
     ///
-    /// Panics if any sample is not finite.
+    /// Panics if any sample is not finite, in debug builds only.
     pub fn of(samples: &[f64]) -> Summary {
-        assert!(
+        debug_assert!(
             samples.iter().all(|v| v.is_finite()),
             "summary samples must be finite"
         );
-        if samples.is_empty() {
+        Summary::of_lenient(samples)
+    }
+
+    /// Computes the summary of a slice, skipping non-finite samples.
+    ///
+    /// NaN and ±∞ are excluded from every statistic and counted in
+    /// [`Summary::rejected`]; `count` covers the finite samples actually
+    /// summarized. An all-poisoned (or empty) input yields the zeroed
+    /// summary.
+    pub fn of_lenient(samples: &[f64]) -> Summary {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        let rejected = samples.len() - sorted.len();
+        if sorted.is_empty() {
             return Summary {
                 count: 0,
+                rejected,
                 mean: 0.0,
                 min: 0.0,
                 max: 0.0,
@@ -47,13 +71,13 @@ impl Summary {
                 std_dev: 0.0,
             };
         }
-        let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         Summary {
             count: n,
+            rejected,
             mean,
             min: sorted[0],
             max: sorted[n - 1],
@@ -114,12 +138,14 @@ mod tests {
         assert_eq!(s.p50, 2.0);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "finite")]
     fn rejects_nan() {
         Summary::of(&[f64::NAN]);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "finite")]
     fn rejects_nan_anywhere_in_the_slice() {
@@ -128,16 +154,55 @@ mod tests {
         Summary::of(&[1.0, 2.0, f64::NAN, 4.0]);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "finite")]
     fn rejects_positive_infinity() {
         Summary::of(&[1.0, f64::INFINITY]);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "finite")]
     fn rejects_negative_infinity() {
         Summary::of(&[f64::NEG_INFINITY, 1.0]);
+    }
+
+    #[test]
+    fn lenient_skips_and_counts_poisoned_samples() {
+        // A service report must survive a poisoned series: the non-finite
+        // samples vanish from the statistics but stay visible as a count.
+        let s = Summary::of_lenient(&[3.0, f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.p50, 2.0);
+    }
+
+    #[test]
+    fn lenient_all_poisoned_is_zeroed_not_a_panic() {
+        let s = Summary::of_lenient(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let samples: Vec<f64> = (1..=50).map(|i| i as f64 * 0.5).collect();
+        assert_eq!(Summary::of_lenient(&samples), Summary::of(&samples));
+        assert_eq!(Summary::of(&samples).rejected, 0);
+    }
+
+    #[test]
+    fn summary_deserializes_without_rejected_field() {
+        // Checked-in baseline JSONs predate the `rejected` counter.
+        let json = r#"{"count":1,"mean":1.0,"min":1.0,"max":1.0,
+                       "p50":1.0,"p95":1.0,"p99":1.0,"std_dev":0.0}"#;
+        let s: Summary = serde_json::from_str(json).expect("deserialize");
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.count, 1);
     }
 
     #[test]

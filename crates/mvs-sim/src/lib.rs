@@ -43,6 +43,7 @@ mod render;
 mod response;
 mod runtime;
 mod scenario;
+mod serve;
 mod trajectory;
 mod worker;
 mod world;
@@ -57,9 +58,13 @@ pub use render::render_ascii;
 pub use response::{replay_response, QueuePolicy, ResponseStats};
 pub use runtime::{
     run_pipeline, run_pipeline_traced, Algorithm, OverheadModel, PipelineConfig, PipelineResult,
-    PipelineStats,
+    PipelineStats, TenantPipeline,
 };
 pub use scenario::{CityConfig, Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
+pub use serve::{
+    run_serve, run_serve_traced, AdmissionDecision, DecisionCounts, IngestLane, ServeConfig,
+    ServeReport, TenantReport,
+};
 pub use trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};
 pub use worker::resolve_threads;
 pub use world::{Lane, World, WorldObject};

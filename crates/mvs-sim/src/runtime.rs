@@ -239,6 +239,11 @@ pub struct PipelineStats {
     pub takeovers: usize,
     /// New-region probes issued at regular frames.
     pub probes: usize,
+    /// Capture-clock frames skipped without processing (serving front-end
+    /// drops; always zero for [`run_pipeline`], which processes every
+    /// frame).
+    #[serde(default)]
+    pub skipped_frames: usize,
 }
 
 /// Results of one pipeline run.
@@ -327,9 +332,9 @@ struct RegularOutput {
     sample: OverheadSample,
 }
 
-struct Pipeline<'a> {
-    scenario: &'a Scenario,
-    config: &'a PipelineConfig,
+struct Pipeline {
+    scenario: Scenario,
+    config: PipelineConfig,
     threads: usize,
     trained: Option<TrainedAssociation>,
     precompute: Option<MaskPrecompute>,
@@ -362,6 +367,8 @@ struct Pipeline<'a> {
     /// Structured-tracing recorder; `None` (the default) keeps every
     /// span-recording site a no-op.
     tracer: Option<TraceRecorder>,
+    /// Frames actually processed so far (skipped frames excluded).
+    frames_done: usize,
     // Outputs.
     recall: RecallAccumulator,
     latency: LatencySeries,
@@ -371,8 +378,8 @@ struct Pipeline<'a> {
     degradation: DegradationCounters,
 }
 
-impl<'a> Pipeline<'a> {
-    fn new(scenario: &'a Scenario, config: &'a PipelineConfig) -> Self {
+impl Pipeline {
+    fn new(scenario: &Scenario, config: &PipelineConfig) -> Self {
         let m = scenario.num_cameras();
         assert!(m > 0, "scenario has no cameras");
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -453,8 +460,8 @@ impl<'a> Pipeline<'a> {
             })
             .collect();
         Pipeline {
-            scenario,
-            config,
+            scenario: scenario.clone(),
+            config: config.clone(),
             threads: resolve_threads(config.threads).min(m),
             trained,
             precompute,
@@ -470,6 +477,7 @@ impl<'a> Pipeline<'a> {
             upload_scratch: Vec::new(),
             central_per_frame_ms: 0.0,
             tracer: None,
+            frames_done: 0,
             recall: RecallAccumulator::new(),
             latency: LatencySeries::new(),
             per_camera: vec![Vec::new(); m],
@@ -489,62 +497,101 @@ impl<'a> Pipeline<'a> {
     }
 
     fn run(mut self) -> (PipelineResult, Option<Trace>) {
-        let dt = self.scenario.frame_dt_s();
         let frames = (self.config.eval_s * self.scenario.fps).round() as usize;
         let mut workers = std::mem::take(&mut self.workers);
         for frame in 0..frames {
-            self.world.step(dt, &mut self.rng);
-            if let Some(t) = &mut self.tracer {
-                let start_us = t.begin_frame(frame);
-                for w in workers.iter_mut() {
-                    if let Some(buf) = &mut w.trace {
-                        buf.begin_frame(frame as u32, start_us);
-                    }
+            self.step_frame(&mut workers, frame);
+        }
+        self.workers = workers;
+        self.finish()
+    }
+
+    /// Processes one frame of the capture clock: steps the world, runs the
+    /// per-camera stages and cross-camera coordination for `frame`, and
+    /// records every output series. Returns the frame's modeled system
+    /// latency (slowest camera, may be non-finite on a poisoned overhead
+    /// model — already counted in [`DegradationCounters::rejected_samples`]
+    /// by then).
+    ///
+    /// `frame` is the capture index: `frame % horizon == 0` makes this a
+    /// key frame. The serving front-end may skip capture indices (see
+    /// [`Pipeline::skip_frame`]); the cadence then degrades exactly like a
+    /// lost key-frame round trip — trackers coast until the next processed
+    /// key frame.
+    fn step_frame(&mut self, workers: &mut [CameraWorker], frame: usize) -> f64 {
+        let dt = self.scenario.frame_dt_s();
+        self.world.step(dt, &mut self.rng);
+        if let Some(t) = &mut self.tracer {
+            let start_us = t.begin_frame(frame);
+            for w in workers.iter_mut() {
+                if let Some(buf) = &mut w.trace {
+                    buf.begin_frame(frame as u32, start_us);
                 }
             }
-            let is_key = frame % self.config.horizon == 0;
-            if is_key {
-                self.step_faults(&mut workers);
-            }
-            let (views, visible, covered) = self.observe(&mut workers);
-            if !self.faults.all_alive() {
-                // Coverage irrecoverably lost to dead cameras: objects no
-                // surviving camera can see still count against recall.
-                self.degradation.degraded_frames += 1;
-                self.degradation.coverage_lost_objects +=
-                    visible.iter().filter(|id| !covered.contains(id)).count() as u64;
-            }
+        }
+        let is_key = frame.is_multiple_of(self.config.horizon);
+        if is_key {
+            self.step_faults(workers);
+        }
+        let (views, visible, covered) = self.observe(workers);
+        if !self.faults.all_alive() {
+            // Coverage irrecoverably lost to dead cameras: objects no
+            // surviving camera can see still count against recall.
+            self.degradation.degraded_frames += 1;
+            self.degradation.coverage_lost_objects +=
+                visible.iter().filter(|id| !covered.contains(id)).count() as u64;
+        }
 
-            let (frame_latency, detected, oh) = match self.config.algorithm {
-                Algorithm::Full => self.full_frame(&mut workers, &views),
-                _ if is_key => self.key_frame(&mut workers, &views),
-                _ => self.regular_frame(&mut workers, &views),
-            };
+        let (frame_latency, detected, oh) = match self.config.algorithm {
+            Algorithm::Full => self.full_frame(workers, &views),
+            _ if is_key => self.key_frame(workers, &views),
+            _ => self.regular_frame(workers, &views),
+        };
 
-            // Recall is judged against what is truly in front of the
-            // cameras *now*, which is what makes lag hurt.
-            self.recall.record(visible, detected);
-            let system = frame_latency.iter().fold(0.0, |a: f64, &b| a.max(b));
-            if system.is_finite() {
-                self.latency.push(system);
+        // Recall is judged against what is truly in front of the
+        // cameras *now*, which is what makes lag hurt.
+        self.recall.record(visible, detected);
+        let system = frame_latency.iter().fold(0.0, |a: f64, &b| a.max(b));
+        if system.is_finite() {
+            self.latency.push(system);
+        } else {
+            self.degradation.rejected_samples += 1;
+        }
+        for (series, &l) in self.per_camera.iter_mut().zip(&frame_latency) {
+            if l.is_finite() {
+                series.push(l);
             } else {
                 self.degradation.rejected_samples += 1;
             }
-            for (series, &l) in self.per_camera.iter_mut().zip(&frame_latency) {
-                if l.is_finite() {
-                    series.push(l);
-                } else {
-                    self.degradation.rejected_samples += 1;
-                }
-            }
-            self.overhead.record_frame(&oh);
-            for (w, view) in workers.iter_mut().zip(views) {
-                w.prev_view = view;
-            }
-            if let Some(t) = &mut self.tracer {
-                t.end_frame(workers.iter_mut().filter_map(|w| w.trace.as_mut()));
-            }
         }
+        self.overhead.record_frame(&oh);
+        for (w, view) in workers.iter_mut().zip(views) {
+            w.prev_view = view;
+        }
+        if let Some(t) = &mut self.tracer {
+            t.end_frame(workers.iter_mut().filter_map(|w| w.trace.as_mut()));
+        }
+        self.frames_done += 1;
+        system
+    }
+
+    /// Skips one frame of the capture clock without processing it: the
+    /// world advances (real time passed) but no camera observes, detects,
+    /// or draws from its RNG stream, and no series records a sample.
+    ///
+    /// This is the serving front-end's drop semantics (a frame displaced
+    /// from a depth-1 ingest lane was never delivered to the pipeline).
+    /// The next processed frame sees the moved world through the stale
+    /// `prev_view`, so its optical flow spans the gap — exactly the larger
+    /// displacement a real camera would measure across dropped frames.
+    fn skip_frame(&mut self) {
+        let dt = self.scenario.frame_dt_s();
+        self.world.step(dt, &mut self.rng);
+        self.stats.skipped_frames += 1;
+    }
+
+    /// Finalizes every output series into a [`PipelineResult`].
+    fn finish(self) -> (PipelineResult, Option<Trace>) {
         let per_camera_mean_ms = self
             .per_camera
             .iter()
@@ -552,7 +599,7 @@ impl<'a> Pipeline<'a> {
             .collect();
         let result = PipelineResult {
             algorithm: self.config.algorithm,
-            frames,
+            frames: self.frames_done,
             recall: self.recall.recall(),
             mean_latency_ms: self.latency.mean_ms(),
             latency: self.latency,
@@ -858,7 +905,14 @@ impl<'a> Pipeline<'a> {
                 let synced_cams: Vec<CameraId> =
                     (0..m).filter(|&i| synced[i]).map(CameraId).collect();
                 let mut priority: Vec<CameraId> = Vec::new();
-                if !synced_cams.is_empty() {
+                // `false` means the horizon produced no schedule at all:
+                // every camera coasts on its stale mask and running tracks
+                // until the next key frame. In a long-running service this
+                // is a degradation event, never a panic.
+                let solved = 'solve: {
+                    if synced_cams.is_empty() {
+                        break 'solve false;
+                    }
                     let globals = {
                         let trained = self.trained.as_ref().expect("association is trained");
                         trained.engine.associate(&boxes)
@@ -972,9 +1026,13 @@ impl<'a> Pipeline<'a> {
                             priority = schedule.priority;
                         }
                     } else {
-                        let subset = problem
-                            .restrict_to_cameras(&synced_cams)
-                            .expect("at least one synced camera");
+                        // Degraded horizon: re-solve on the synced
+                        // sub-fleet. An `Err` means no schedulable camera
+                        // survived the restriction after all — coast like
+                        // the all-desynced case instead of crashing.
+                        let Ok(subset) = problem.restrict_to_cameras(&synced_cams) else {
+                            break 'solve false;
+                        };
                         let schedule = mvs_core::extensions::balb_redundant_traced(
                             &subset.problem,
                             redundancy,
@@ -1019,6 +1077,13 @@ impl<'a> Pipeline<'a> {
                             }
                         }
                     }
+                    true
+                };
+                if !solved {
+                    // Nobody heard the scheduler this horizon (or nothing
+                    // was schedulable): the previous assignment stays in
+                    // force implicitly via the coasting trackers.
+                    self.degradation.coasted_horizons += 1;
                 }
                 let compute_ms = started.map_or(0.0, |s| s.elapsed().as_secs_f64() * 1e3);
 
@@ -1379,6 +1444,135 @@ impl<'a> Pipeline<'a> {
             oh.push(out.sample);
         }
         (latency, detected, oh)
+    }
+}
+
+/// One tenant's steppable pipeline for the multi-tenant serving front-end
+/// (`mvs serve`): the same runtime as [`run_pipeline`], but driven frame
+/// by frame by an external event loop instead of a closed run loop. Owns
+/// its scenario, configuration, and all runtime state, so N instances
+/// multiplex freely onto one scheduler core.
+///
+/// The capture clock advances by exactly one frame per [`TenantPipeline::step`]
+/// or [`TenantPipeline::skip`] call; key frames fall on capture indices
+/// divisible by the configured horizon. A skipped key frame means the
+/// tenant coasts on its stale schedule until the next *processed* key
+/// frame — the same degradation path as a lost key-frame round trip.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mvs_sim::{Algorithm, PipelineConfig, Scenario, ScenarioKind, TenantPipeline};
+///
+/// let scenario = Scenario::new(ScenarioKind::S2);
+/// let config = PipelineConfig::paper_default(Algorithm::Balb);
+/// let mut tenant = TenantPipeline::new(&scenario, &config);
+/// let service_ms = tenant.step(); // frame 0 (a key frame)
+/// tenant.skip(); // frame 1 dropped by the ingest lane
+/// let (result, _trace) = tenant.finish();
+/// assert_eq!(result.frames, 1);
+/// assert!(service_ms > 0.0);
+/// ```
+pub struct TenantPipeline {
+    inner: Pipeline,
+    workers: Vec<CameraWorker>,
+    next_frame: usize,
+}
+
+impl TenantPipeline {
+    /// Builds a steppable pipeline (trains association models, warms the
+    /// world — the same setup as [`run_pipeline`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_pipeline`].
+    pub fn new(scenario: &Scenario, config: &PipelineConfig) -> TenantPipeline {
+        assert!(config.horizon > 0, "horizon must be positive");
+        let mut inner = Pipeline::new(scenario, config);
+        let workers = std::mem::take(&mut inner.workers);
+        TenantPipeline {
+            inner,
+            workers,
+            next_frame: 0,
+        }
+    }
+
+    /// Frames per second of the tenant's scenario (its capture clock).
+    pub fn fps(&self) -> f64 {
+        self.inner.scenario.fps
+    }
+
+    /// Number of cameras in the tenant's deployment.
+    pub fn num_cameras(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The capture index the next [`TenantPipeline::step`] or
+    /// [`TenantPipeline::skip`] will consume.
+    pub fn next_frame(&self) -> usize {
+        self.next_frame
+    }
+
+    /// Currently configured redundancy degree.
+    pub fn redundancy(&self) -> usize {
+        self.inner.config.redundancy
+    }
+
+    /// Reconfigures the redundancy degree, effective at the next processed
+    /// key frame. Admission control uses this to shed load (redundancy
+    /// first, frames second) without tearing the tenant down. Any warm
+    /// solver state is discarded: it described schedules of the old
+    /// configuration.
+    pub fn set_redundancy(&mut self, redundancy: usize) {
+        assert!(redundancy > 0, "redundancy must be at least one");
+        if self.inner.config.redundancy != redundancy {
+            self.inner.config.redundancy = redundancy;
+            self.inner.solver.reset();
+        }
+    }
+
+    /// Turns on structured tracing (see [`run_pipeline_traced`]); spans
+    /// carry this tenant's frames only, so a serving front-end can label
+    /// each trace with its tenant.
+    pub fn enable_tracing(&mut self) {
+        self.inner.tracer = Some(TraceRecorder::new(self.inner.scenario.fps));
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            w.trace = Some(TraceRecorder::camera_buf(i));
+        }
+    }
+
+    /// Processes the next capture-clock frame and returns its modeled
+    /// service cost in milliseconds: the slowest camera's DNN latency plus
+    /// the amortized central-stage share. This is the time the frame
+    /// occupies the serving core in the event-loop model (cf.
+    /// [`replay_response`](crate::replay_response) for one camera).
+    ///
+    /// The cost is non-negative and finite for every built-in scenario and
+    /// overhead model; a poisoned model may yield a non-finite cost, which
+    /// the pipeline has already excluded from its own series (counted in
+    /// [`DegradationCounters::rejected_samples`]) — callers must guard the
+    /// same way.
+    pub fn step(&mut self) -> f64 {
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        let system = self.inner.step_frame(&mut self.workers, frame);
+        system + self.inner.central_per_frame_ms
+    }
+
+    /// Drops the next capture-clock frame without processing it (the
+    /// serving front-end's latest-frame-wins backpressure displaced it).
+    /// The world still advances; no camera observes or draws randomness.
+    pub fn skip(&mut self) {
+        self.next_frame += 1;
+        self.inner.skip_frame();
+    }
+
+    /// Finalizes the tenant's series into a [`PipelineResult`] (plus the
+    /// trace when [`TenantPipeline::enable_tracing`] was called).
+    /// `result.frames` counts processed frames only;
+    /// `result.stats.skipped_frames` counts the drops.
+    pub fn finish(self) -> (PipelineResult, Option<Trace>) {
+        self.inner.finish()
     }
 }
 

@@ -1,0 +1,772 @@
+//! Multi-tenant serving front-end: an event loop multiplexing N tenant
+//! deployments onto one scheduler core with latest-frame-wins backpressure
+//! and load-shedding admission control.
+//!
+//! The paper evaluates one deployment per run; a production service runs
+//! many deployments ("tenants") against shared compute. This module builds
+//! that tier on top of [`TenantPipeline`]:
+//!
+//! * [`IngestLane`] — a depth-1 per-camera frame queue. A frame arriving
+//!   while the core is busy *replaces* the waiting frame (the standard
+//!   live-analytics policy: stale frames are worthless — cf.
+//!   [`QueuePolicy::DropToLatest`](crate::QueuePolicy) for the
+//!   single-camera replay model). Every displacement is counted.
+//! * [`run_serve`] — a discrete-event loop on a virtual microsecond clock.
+//!   The scheduler core is a single server: it serves one tenant-frame at
+//!   a time, taking the frame's *modeled* service cost (slowest camera's
+//!   DNN latency plus the amortized central-stage share), so the whole
+//!   simulation is a deterministic function of its [`ServeConfig`] at any
+//!   thread count.
+//! * Admission control — before serving, each tenant's steady-state load
+//!   is measured over a pilot horizon. When the aggregate exceeds the
+//!   configured core budget, the service degrades the tenant along a
+//!   ladder: shed redundant assignments first, then process only every
+//!   d-th frame, and reject the tenant only when even that cannot fit.
+//!
+//! Dropped and policy-skipped frames still advance the tenant's world (real
+//! time passed); the pipeline sees them as [`TenantPipeline::skip`] calls,
+//! so trackers coast across gaps exactly like they do across lost key-frame
+//! round trips.
+
+use mvs_metrics::{DegradationCounters, Summary};
+use mvs_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::runtime::{Algorithm, PipelineConfig, TenantPipeline};
+use crate::scenario::{CityConfig, Scenario};
+use crate::FaultModel;
+
+/// A per-camera ingest queue of depth one with latest-frame-wins
+/// replacement.
+///
+/// Frames are identified by their capture index and must be offered in
+/// capture order. At most one frame waits; offering a newer frame while an
+/// older one waits drops the older one (counted in
+/// [`IngestLane::dropped`]). Consequently the consumed sequence is a
+/// strictly increasing subsequence of the offered sequence — the lane can
+/// drop frames but never reorder or duplicate them.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_sim::IngestLane;
+///
+/// let mut lane = IngestLane::new();
+/// lane.offer(0);
+/// assert_eq!(lane.offer(1), Some(0)); // frame 0 displaced, dropped
+/// assert_eq!(lane.take(), Some(1));
+/// assert_eq!(lane.take(), None);
+/// assert_eq!(lane.dropped(), 1);
+/// assert_eq!(lane.depth(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestLane {
+    /// The waiting frame, if any (the queue's entire capacity).
+    pending: Option<u64>,
+    /// Highest frame index ever offered.
+    newest: Option<u64>,
+    /// Frames displaced by a newer arrival before consumption.
+    dropped: u64,
+    /// Frames handed to the consumer.
+    delivered: u64,
+}
+
+impl IngestLane {
+    /// An empty lane.
+    #[must_use]
+    pub fn new() -> IngestLane {
+        IngestLane::default()
+    }
+
+    /// Offers a captured frame to the lane. Returns the older frame it
+    /// displaced, if one was still waiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` does not arrive in strictly increasing capture
+    /// order — the transport below this queue preserves order, so an
+    /// out-of-order offer is a caller bug, not a runtime condition.
+    pub fn offer(&mut self, frame: u64) -> Option<u64> {
+        assert!(
+            self.newest.is_none_or(|n| frame > n),
+            "frames must be offered in capture order"
+        );
+        self.newest = Some(frame);
+        let displaced = self.pending.replace(frame);
+        if displaced.is_some() {
+            self.dropped += 1;
+        }
+        displaced
+    }
+
+    /// Consumes the waiting frame, if any.
+    pub fn take(&mut self) -> Option<u64> {
+        let frame = self.pending.take();
+        if frame.is_some() {
+            self.delivered += 1;
+        }
+        frame
+    }
+
+    /// The waiting frame without consuming it.
+    #[must_use]
+    pub fn peek(&self) -> Option<u64> {
+        self.pending
+    }
+
+    /// Current queue depth — structurally at most 1.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        usize::from(self.pending.is_some())
+    }
+
+    /// Frames displaced (dropped) before the consumer took them.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames delivered to the consumer.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Frames ever offered. Always equals
+    /// `delivered + dropped + depth` — the lane accounts for every frame.
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.delivered + self.dropped + self.depth() as u64
+    }
+}
+
+/// What admission control decided for one tenant, in degradation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Served at its requested configuration.
+    Admitted,
+    /// Served with redundancy shed to 1 (the cheapest degradation: extra
+    /// assignment copies go first, frames are untouched).
+    ShedRedundancy,
+    /// Served at reduced rate: only every `keep_every`-th captured frame
+    /// is offered to the core (redundancy was shed first if it had any).
+    Degraded {
+        /// Process one frame in this many.
+        keep_every: u64,
+    },
+    /// Not served: even the deepest degradation rung did not fit the
+    /// remaining core budget.
+    Rejected,
+}
+
+/// Configuration of one [`run_serve`] simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of tenant deployments.
+    pub tenants: usize,
+    /// Cameras per tenant (each tenant is an independently seeded city
+    /// deployment of this size).
+    pub cameras_per_tenant: usize,
+    /// Capture rate of every tenant, frames per second.
+    pub fps: f64,
+    /// Serving time simulated after admission, seconds of virtual time.
+    pub duration_s: f64,
+    /// Provisioned compute, in cores (1.0 = one core's worth of modeled
+    /// milliseconds per millisecond). The serving core processes frames at
+    /// this aggregate speed, and admission control degrades tenants until
+    /// the aggregate pilot load fits the same budget — so an admitted mix
+    /// keeps long-run utilization at or below one.
+    pub capacity_cores: f64,
+    /// Base seed; tenant `t` runs scenario and pipeline seed `seed + t`.
+    pub seed: u64,
+    /// Worker threads per pipeline step (0 = automatic). Results are
+    /// bitwise identical at any value.
+    pub threads: usize,
+    /// Requested redundancy degree per tenant.
+    pub redundancy: usize,
+    /// City traffic intensity multiplier.
+    pub intensity: f64,
+    /// Association-model training window per tenant, seconds.
+    pub train_s: f64,
+    /// Fault injection applied to every tenant.
+    pub faults: FaultModel,
+    /// Deepest frame-dropping rung admission control may assign before
+    /// rejecting a tenant (`keep_every` never exceeds this).
+    pub max_keep_every: u64,
+    /// Use the sharded central solver (city-scale path).
+    pub shard_solver: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tenants: 4,
+            cameras_per_tenant: 8,
+            fps: 10.0,
+            duration_s: 30.0,
+            capacity_cores: 4.0,
+            seed: 2022,
+            threads: 0,
+            redundancy: 1,
+            intensity: 1.0,
+            train_s: 20.0,
+            faults: FaultModel::none(),
+            max_keep_every: 4,
+            shard_solver: false,
+        }
+    }
+}
+
+/// Per-tenant outcome of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant index (also its seed offset).
+    pub tenant: usize,
+    /// What admission control decided.
+    pub decision: AdmissionDecision,
+    /// Steady-state core load measured over the pilot horizon, in cores,
+    /// at the *served* configuration (after any shedding).
+    pub pilot_load_cores: f64,
+    /// Frames captured during the serving phase.
+    pub captured: u64,
+    /// Frames processed by the core.
+    pub processed: u64,
+    /// Frames displaced from the ingest lanes by a newer arrival
+    /// (per-camera counters agree, so this is the per-camera count).
+    pub queue_dropped: u64,
+    /// Frames withheld by the admission policy (`keep_every` thinning).
+    pub policy_skipped: u64,
+    /// Deepest per-camera queue depth ever observed (bounded by 1).
+    pub max_lane_depth: usize,
+    /// End-to-end latency of processed frames (capture → completion),
+    /// including queueing delay. `p99` is the headline tail metric.
+    pub e2e_ms: Summary,
+    /// Modeled service cost per processed frame.
+    pub service_ms: Summary,
+    /// Recall over the tenant's processed frames (skipped frames count
+    /// their visible objects as missed, so dropping frames costs recall).
+    pub recall: f64,
+    /// The tenant pipeline's degradation counters (faults + coasting).
+    pub degradation: DegradationCounters,
+}
+
+/// Aggregate outcome of a [`run_serve`] simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// The configuration that produced this report.
+    pub config: ServeConfig,
+    /// Per-tenant outcomes, indexed by tenant.
+    pub tenants: Vec<TenantReport>,
+    /// Aggregate pilot load of the served (non-rejected) tenants, cores.
+    pub admitted_load_cores: f64,
+    /// Frames captured across all served tenants.
+    pub captured: u64,
+    /// Frames processed across all served tenants.
+    pub processed: u64,
+    /// Frames dropped by backpressure across all served tenants.
+    pub queue_dropped: u64,
+    /// Frames withheld by admission policy across all served tenants.
+    pub policy_skipped: u64,
+    /// `(queue_dropped + policy_skipped) / captured` — the headline drop
+    /// rate (0.0 when nothing was captured).
+    pub drop_rate: f64,
+    /// End-to-end latency pooled over every served tenant.
+    pub e2e_ms: Summary,
+    /// Fraction of the serving window the core spent busy, of one core.
+    pub core_utilization: f64,
+    /// Tenants per admission outcome: `[admitted, shed, degraded,
+    /// rejected]`.
+    pub decisions: DecisionCounts,
+}
+
+/// How many tenants landed on each admission rung.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionCounts {
+    /// Served as requested.
+    pub admitted: usize,
+    /// Served with redundancy shed.
+    pub shed_redundancy: usize,
+    /// Served with frame thinning.
+    pub degraded: usize,
+    /// Not served.
+    pub rejected: usize,
+}
+
+impl DecisionCounts {
+    fn count(&mut self, decision: AdmissionDecision) {
+        match decision {
+            AdmissionDecision::Admitted => self.admitted += 1,
+            AdmissionDecision::ShedRedundancy => self.shed_redundancy += 1,
+            AdmissionDecision::Degraded { .. } => self.degraded += 1,
+            AdmissionDecision::Rejected => self.rejected += 1,
+        }
+    }
+}
+
+/// One tenant's live state inside the event loop.
+struct Tenant {
+    pipeline: TenantPipeline,
+    lanes: Vec<IngestLane>,
+    decision: AdmissionDecision,
+    /// Pilot-measured load at the served configuration, cores.
+    load_cores: f64,
+    /// Process one captured frame in this many (1 = all).
+    keep_every: u64,
+    /// Pipeline capture index where the serving phase started (pilot
+    /// frames live below it).
+    serve_start: usize,
+    /// Next serving-phase frame index to capture (0-based).
+    next_capture: u64,
+    /// Capture timestamp of the waiting frame, µs (valid while the lanes
+    /// are non-empty).
+    pending_since_us: u64,
+    /// Virtual-time offset of this tenant's capture clock, µs.
+    phase_us: u64,
+    max_lane_depth: usize,
+    policy_skipped: u64,
+    e2e_ms: Vec<f64>,
+    service_ms: Vec<f64>,
+}
+
+impl Tenant {
+    fn pending(&self) -> Option<u64> {
+        self.lanes.first().and_then(IngestLane::peek)
+    }
+
+    /// Brings the pipeline's capture clock up to serving frame `frame`
+    /// (exclusive), skipping everything in between (lane drops and policy
+    /// thinning alike).
+    fn reconcile_skips(&mut self, frame: u64) {
+        while (self.pipeline.next_frame() - self.serve_start) < frame as usize {
+            self.pipeline.skip();
+        }
+    }
+}
+
+/// Measures one tenant's steady-state core load over a pilot horizon:
+/// steps `horizon` frames back to back and averages the modeled service
+/// cost. Returns (load in cores, mean service ms).
+fn pilot_load(pipeline: &mut TenantPipeline, horizon: usize, fps: f64) -> (f64, f64) {
+    let mut total_ms = 0.0;
+    for _ in 0..horizon {
+        let cost = pipeline.step();
+        if cost.is_finite() {
+            total_ms += cost;
+        }
+    }
+    let mean_ms = total_ms / horizon.max(1) as f64;
+    (mean_ms * fps / 1e3, mean_ms)
+}
+
+/// Runs the multi-tenant serving simulation. Deterministic for a fixed
+/// config at any [`ServeConfig::threads`] value.
+///
+/// # Panics
+///
+/// Panics on nonsensical configuration (zero tenants/cameras, non-positive
+/// fps, duration, capacity, or `max_keep_every` of zero).
+pub fn run_serve(config: &ServeConfig) -> ServeReport {
+    run_serve_inner(config, false).0
+}
+
+/// Like [`run_serve`], but with structured tracing enabled on every
+/// tenant pipeline. Returns one [`Trace`] per tenant (rejected tenants
+/// trace their pilot horizon only), in tenant order, so the caller can
+/// export each with its tenant label (see
+/// [`Trace::prometheus_text_labeled`]).
+pub fn run_serve_traced(config: &ServeConfig) -> (ServeReport, Vec<Trace>) {
+    let (report, traces) = run_serve_inner(config, true);
+    (report, traces.expect("tracing was enabled"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_serve_inner(config: &ServeConfig, traced: bool) -> (ServeReport, Option<Vec<Trace>>) {
+    assert!(config.tenants > 0, "serve needs at least one tenant");
+    assert!(
+        config.cameras_per_tenant > 0,
+        "tenants need at least one camera"
+    );
+    assert!(
+        config.fps.is_finite() && config.fps > 0.0,
+        "fps must be positive"
+    );
+    assert!(
+        config.duration_s.is_finite() && config.duration_s >= 0.0,
+        "duration must be non-negative"
+    );
+    assert!(
+        config.capacity_cores.is_finite() && config.capacity_cores > 0.0,
+        "capacity must be positive"
+    );
+    assert!(config.max_keep_every >= 1, "max_keep_every must be >= 1");
+    assert!(config.redundancy >= 1, "redundancy must be at least one");
+
+    let interval_us = (1e6 / config.fps).round() as u64;
+    let frames_per_tenant = (config.duration_s * config.fps).round() as u64;
+
+    // ---- Admission: build, pilot, and place each tenant on the ladder.
+    let mut tenants: Vec<Tenant> = Vec::with_capacity(config.tenants);
+    let mut admitted_load = 0.0f64;
+    for t in 0..config.tenants {
+        let mut scenario = Scenario::city(&CityConfig {
+            cameras: config.cameras_per_tenant,
+            seed: config.seed + t as u64,
+            intensity: config.intensity,
+        });
+        scenario.fps = config.fps;
+        let pipe_config = PipelineConfig {
+            train_s: config.train_s,
+            seed: config.seed + t as u64,
+            threads: config.threads,
+            redundancy: config.redundancy,
+            measured_overheads: false,
+            faults: config.faults,
+            shard_solver: config.shard_solver,
+            ..PipelineConfig::paper_default(Algorithm::Balb)
+        };
+        let mut pipeline = TenantPipeline::new(&scenario, &pipe_config);
+        if traced {
+            pipeline.enable_tracing();
+        }
+        let horizon = pipe_config.horizon;
+        let budget = config.capacity_cores - admitted_load;
+
+        let (mut load, _) = pilot_load(&mut pipeline, horizon, config.fps);
+        let mut decision = AdmissionDecision::Admitted;
+        let mut keep_every = 1u64;
+        if load > budget && config.redundancy > 1 {
+            // Rung 1: shed redundancy — extra assignment copies cost
+            // compute without adding coverage of new objects.
+            pipeline.set_redundancy(1);
+            let repiloted = pilot_load(&mut pipeline, horizon, config.fps);
+            load = repiloted.0;
+            decision = AdmissionDecision::ShedRedundancy;
+        }
+        if load > budget {
+            // Rung 2: thin frames — process one captured frame in d.
+            let fits = (2..=config.max_keep_every).find(|&d| load / d as f64 <= budget);
+            match fits {
+                Some(d) => {
+                    decision = AdmissionDecision::Degraded { keep_every: d };
+                    keep_every = d;
+                    load /= d as f64;
+                }
+                None => decision = AdmissionDecision::Rejected,
+            }
+        }
+        if decision != AdmissionDecision::Rejected {
+            admitted_load += load;
+        }
+
+        let serve_start = pipeline.next_frame();
+        tenants.push(Tenant {
+            pipeline,
+            lanes: vec![IngestLane::new(); config.cameras_per_tenant],
+            decision,
+            load_cores: load,
+            keep_every,
+            serve_start,
+            next_capture: 0,
+            pending_since_us: 0,
+            // Stagger tenants across the capture interval so arrivals do
+            // not all land on the same instant.
+            phase_us: interval_us * t as u64 / config.tenants as u64,
+            max_lane_depth: 0,
+            policy_skipped: 0,
+            e2e_ms: Vec::new(),
+            service_ms: Vec::new(),
+        });
+    }
+
+    // ---- Event loop: single-server core over a virtual µs clock.
+    let mut now_us = 0u64;
+    let mut busy_until_us: Option<u64> = None;
+    let mut core_busy_us = 0u64;
+    loop {
+        // Deliver every arrival due by `now`, in tenant order.
+        for tenant in tenants.iter_mut() {
+            if tenant.decision == AdmissionDecision::Rejected {
+                continue;
+            }
+            while tenant.next_capture < frames_per_tenant {
+                let frame = tenant.next_capture;
+                let capture_us = tenant.phase_us + frame * interval_us;
+                if capture_us > now_us {
+                    break;
+                }
+                tenant.next_capture += 1;
+                if !frame.is_multiple_of(tenant.keep_every) {
+                    tenant.policy_skipped += 1;
+                    continue;
+                }
+                for lane in tenant.lanes.iter_mut() {
+                    lane.offer(frame);
+                }
+                tenant.pending_since_us = capture_us;
+                let depth = tenant
+                    .lanes
+                    .iter()
+                    .map(IngestLane::depth)
+                    .max()
+                    .unwrap_or(0);
+                tenant.max_lane_depth = tenant.max_lane_depth.max(depth);
+            }
+        }
+
+        let core_free = busy_until_us.is_none_or(|b| b <= now_us);
+        if core_free {
+            // FIFO over waiting frames: serve the tenant whose pending
+            // frame has waited longest (ties to the lowest tenant id).
+            let next = tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.pending().is_some())
+                .min_by_key(|(id, t)| (t.pending_since_us, *id))
+                .map(|(id, _)| id);
+            if let Some(id) = next {
+                let tenant = &mut tenants[id];
+                let frame = tenant.lanes[0].take().expect("pending frame");
+                for lane in tenant.lanes.iter_mut().skip(1) {
+                    let same = lane.take();
+                    debug_assert_eq!(same, Some(frame), "lanes advance in lockstep");
+                }
+                tenant.reconcile_skips(frame);
+                let service_ms = tenant.pipeline.step();
+                // The provisioned pool serves `capacity_cores` modeled
+                // milliseconds per wall millisecond.
+                let service_us = if service_ms.is_finite() && service_ms >= 0.0 {
+                    (service_ms * 1e3 / config.capacity_cores).round() as u64
+                } else {
+                    // A poisoned overhead model must not wedge the loop;
+                    // the pipeline already counted the sample as rejected.
+                    0
+                };
+                let done_us = now_us + service_us;
+                busy_until_us = Some(done_us);
+                core_busy_us += service_us;
+                tenant.service_ms.push(service_ms);
+                tenant
+                    .e2e_ms
+                    .push((done_us - tenant.pending_since_us) as f64 / 1e3);
+                continue;
+            }
+        }
+
+        // Nothing serveable right now: advance to the next event.
+        let next_arrival = tenants
+            .iter()
+            .filter(|t| t.decision != AdmissionDecision::Rejected)
+            .filter(|t| t.next_capture < frames_per_tenant)
+            .map(|t| t.phase_us + t.next_capture * interval_us)
+            .min();
+        let next_completion = busy_until_us.filter(|&b| b > now_us);
+        match (next_arrival, next_completion) {
+            (Some(a), Some(c)) => now_us = a.min(c),
+            (Some(a), None) => now_us = a,
+            (None, Some(c)) => now_us = c,
+            (None, None) => break, // drained: no arrivals, core idle
+        }
+    }
+
+    // ---- Reports.
+    let mut reports = Vec::with_capacity(config.tenants);
+    let mut traces = traced.then(Vec::new);
+    let mut pooled_e2e: Vec<f64> = Vec::new();
+    let mut decisions = DecisionCounts::default();
+    let mut captured_total = 0u64;
+    let mut processed_total = 0u64;
+    let mut dropped_total = 0u64;
+    let mut skipped_total = 0u64;
+    let serving_span_us = frames_per_tenant * interval_us;
+    for mut tenant in tenants {
+        decisions.count(tenant.decision);
+        let served = tenant.decision != AdmissionDecision::Rejected;
+        let captured = if served { tenant.next_capture } else { 0 };
+        // Account for trailing frames never consumed by the core.
+        tenant.reconcile_skips(captured);
+        let queue_dropped = tenant.lanes.first().map_or(0, IngestLane::dropped);
+        let processed = tenant.lanes.first().map_or(0, IngestLane::delivered);
+        let (result, trace) = tenant.pipeline.finish();
+        if let (Some(ts), Some(tr)) = (traces.as_mut(), trace) {
+            ts.push(tr);
+        }
+        if served {
+            captured_total += captured;
+            processed_total += processed;
+            dropped_total += queue_dropped;
+            skipped_total += tenant.policy_skipped;
+            pooled_e2e.extend_from_slice(&tenant.e2e_ms);
+        }
+        reports.push(TenantReport {
+            tenant: reports.len(),
+            decision: tenant.decision,
+            pilot_load_cores: tenant.load_cores,
+            captured,
+            processed,
+            queue_dropped,
+            policy_skipped: tenant.policy_skipped,
+            max_lane_depth: tenant.max_lane_depth,
+            e2e_ms: Summary::of_lenient(&tenant.e2e_ms),
+            service_ms: Summary::of_lenient(&tenant.service_ms),
+            recall: result.recall,
+            degradation: result.degradation,
+        });
+    }
+    let report = ServeReport {
+        config: config.clone(),
+        tenants: reports,
+        admitted_load_cores: admitted_load,
+        captured: captured_total,
+        processed: processed_total,
+        queue_dropped: dropped_total,
+        policy_skipped: skipped_total,
+        drop_rate: if captured_total > 0 {
+            (dropped_total + skipped_total) as f64 / captured_total as f64
+        } else {
+            0.0
+        },
+        e2e_ms: Summary::of_lenient(&pooled_e2e),
+        core_utilization: if serving_span_us > 0 {
+            core_busy_us as f64 / serving_span_us as f64
+        } else {
+            0.0
+        },
+        decisions,
+    };
+    (report, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts_every_frame_exactly_once() {
+        let mut lane = IngestLane::new();
+        lane.offer(0);
+        assert_eq!(lane.take(), Some(0));
+        lane.offer(1);
+        lane.offer(2); // displaces 1
+        lane.offer(3); // displaces 2
+        assert_eq!(lane.take(), Some(3));
+        lane.offer(10);
+        assert_eq!(lane.offered(), 5);
+        assert_eq!(lane.delivered(), 2);
+        assert_eq!(lane.dropped(), 2);
+        assert_eq!(lane.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture order")]
+    fn lane_rejects_out_of_order_offers() {
+        let mut lane = IngestLane::new();
+        lane.offer(5);
+        lane.offer(5);
+    }
+
+    #[test]
+    fn lane_take_on_empty_is_none() {
+        let mut lane = IngestLane::new();
+        assert_eq!(lane.take(), None);
+        assert_eq!(lane.offered(), 0);
+    }
+
+    #[test]
+    fn decision_counts_cover_every_rung() {
+        let mut c = DecisionCounts::default();
+        c.count(AdmissionDecision::Admitted);
+        c.count(AdmissionDecision::ShedRedundancy);
+        c.count(AdmissionDecision::Degraded { keep_every: 2 });
+        c.count(AdmissionDecision::Rejected);
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.shed_redundancy, 1);
+        assert_eq!(c.degraded, 1);
+        assert_eq!(c.rejected, 1);
+    }
+
+    #[test]
+    fn underloaded_service_admits_and_keeps_up() {
+        // One 4-camera tenant models ~1.8 cores of load; a 4-core budget
+        // admits it untouched and mostly keeps up in real time.
+        let config = ServeConfig {
+            tenants: 1,
+            cameras_per_tenant: 4,
+            duration_s: 6.0,
+            train_s: 10.0,
+            capacity_cores: 4.0,
+            ..ServeConfig::default()
+        };
+        let report = run_serve(&config);
+        assert_eq!(report.decisions.admitted, 1);
+        assert_eq!(report.captured, 60);
+        assert!(report.processed > 0);
+        assert!(report.tenants[0].max_lane_depth <= 1);
+        assert_eq!(
+            report.processed + report.queue_dropped,
+            report.captured,
+            "every captured frame is processed or dropped"
+        );
+        assert!(
+            report.drop_rate < 0.2,
+            "an admitted tenant should mostly keep up, dropped {:.0}%",
+            report.drop_rate * 100.0
+        );
+        assert!(report.core_utilization <= 1.0 + 1e-9);
+        assert!(report.e2e_ms.p99.is_finite());
+    }
+
+    #[test]
+    fn overloaded_service_sheds_load_instead_of_queueing() {
+        // A deliberately tiny budget: admission degrades or rejects the
+        // later tenants, and whatever is served keeps bounded queues.
+        let config = ServeConfig {
+            tenants: 3,
+            cameras_per_tenant: 4,
+            duration_s: 4.0,
+            train_s: 10.0,
+            capacity_cores: 0.02,
+            ..ServeConfig::default()
+        };
+        let report = run_serve(&config);
+        assert!(
+            report.decisions.degraded + report.decisions.rejected > 0,
+            "a 2% core cannot admit three tenants untouched"
+        );
+        assert!(report.admitted_load_cores <= config.capacity_cores + 1e-9);
+        for t in &report.tenants {
+            assert!(
+                t.max_lane_depth <= 1,
+                "tenant {}: queue unbounded",
+                t.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn shed_redundancy_rung_fires_before_frame_thinning() {
+        // With redundancy 2 requested and a budget that only fits the
+        // shed configuration, the ladder must stop at ShedRedundancy.
+        let base = ServeConfig {
+            tenants: 1,
+            cameras_per_tenant: 4,
+            duration_s: 2.0,
+            train_s: 10.0,
+            redundancy: 2,
+            capacity_cores: 8.0,
+            ..ServeConfig::default()
+        };
+        let full = run_serve(&base);
+        let redundant_load = full.tenants[0].pilot_load_cores;
+        assert_eq!(full.tenants[0].decision, AdmissionDecision::Admitted);
+
+        // Now squeeze: below the redundant load, above the shed load.
+        let shed = run_serve(&ServeConfig {
+            capacity_cores: redundant_load * 0.95,
+            ..base
+        });
+        match shed.tenants[0].decision {
+            AdmissionDecision::ShedRedundancy | AdmissionDecision::Degraded { .. } => {}
+            other => panic!("expected a degraded rung, got {other:?}"),
+        }
+    }
+}

@@ -28,7 +28,9 @@
 //!
 //! # Exports
 //!
-//! * [`Trace::prometheus_text`] — text-format metrics snapshot,
+//! * [`Trace::prometheus_text`] — text-format metrics snapshot
+//!   ([`Trace::prometheus_text_labeled`] tags every series with constant
+//!   labels, e.g. a serving tenant id),
 //! * [`Trace::chrome_trace_json`] — Chrome `trace_event` JSON for
 //!   `chrome://tracing` / Perfetto flame graphs,
 //! * [`Trace::golden_text`] — compact line format checked into `tests/golden/`.

@@ -97,6 +97,30 @@ impl Trace {
     /// quantiles per stage, plus item and span counters.
     #[must_use]
     pub fn prometheus_text(&self) -> String {
+        self.prometheus_text_labeled(&[])
+    }
+
+    /// Like [`Trace::prometheus_text`], but with extra constant labels
+    /// prepended to every series — the multi-tenant serving path tags each
+    /// tenant's trace with `[("tenant", "3")]` so one scrape distinguishes
+    /// tenants. With no labels the output is byte-identical to
+    /// [`Trace::prometheus_text`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label name or value contains `"` or `\` — callers pass
+    /// fixed names and formatted integers, so escaping is a bug upstream,
+    /// not a condition to silently paper over.
+    #[must_use]
+    pub fn prometheus_text_labeled(&self, labels: &[(&str, &str)]) -> String {
+        let mut prefix = String::new();
+        for (name, value) in labels {
+            assert!(
+                !name.contains(['"', '\\']) && !value.contains(['"', '\\']),
+                "prometheus labels must not need escaping: {name}={value}"
+            );
+            let _ = write!(prefix, "{name}=\"{value}\",");
+        }
         let stats = self.stage_stats();
         let mut out = String::new();
         out.push_str(
@@ -107,22 +131,22 @@ impl Trace {
             let name = stage.name();
             let _ = writeln!(
                 out,
-                "mvs_stage_duration_ms{{stage=\"{name}\",quantile=\"0.5\"}} {}",
+                "mvs_stage_duration_ms{{{prefix}stage=\"{name}\",quantile=\"0.5\"}} {}",
                 fmt_f64(s.summary.p50)
             );
             let _ = writeln!(
                 out,
-                "mvs_stage_duration_ms{{stage=\"{name}\",quantile=\"0.99\"}} {}",
+                "mvs_stage_duration_ms{{{prefix}stage=\"{name}\",quantile=\"0.99\"}} {}",
                 fmt_f64(s.summary.p99)
             );
             let _ = writeln!(
                 out,
-                "mvs_stage_duration_ms_sum{{stage=\"{name}\"}} {}",
+                "mvs_stage_duration_ms_sum{{{prefix}stage=\"{name}\"}} {}",
                 fmt_f64(s.total_ms)
             );
             let _ = writeln!(
                 out,
-                "mvs_stage_duration_ms_count{{stage=\"{name}\"}} {}",
+                "mvs_stage_duration_ms_count{{{prefix}stage=\"{name}\"}} {}",
                 s.summary.count
             );
         }
@@ -133,7 +157,7 @@ impl Trace {
         for (stage, s) in &stats {
             let _ = writeln!(
                 out,
-                "mvs_stage_items_total{{stage=\"{}\"}} {}",
+                "mvs_stage_items_total{{{prefix}stage=\"{}\"}} {}",
                 stage.name(),
                 s.items
             );
@@ -251,6 +275,24 @@ mod tests {
         assert!(text.contains("mvs_stage_duration_ms{stage=\"detect\",quantile=\"0.99\"} 21"));
         assert!(text.contains("mvs_stage_duration_ms_count{stage=\"central\"} 2"));
         assert!(text.contains("mvs_stage_items_total{stage=\"detect\"} 4"));
+    }
+
+    #[test]
+    fn labeled_prometheus_prepends_labels_to_every_series() {
+        let trace = sample_trace();
+        let text = trace.prometheus_text_labeled(&[("tenant", "3")]);
+        assert!(text
+            .contains("mvs_stage_duration_ms{tenant=\"3\",stage=\"detect\",quantile=\"0.99\"} 21"));
+        assert!(text.contains("mvs_stage_items_total{tenant=\"3\",stage=\"detect\"} 4"));
+        // Every series carries the label: stripping it recovers the
+        // unlabeled export byte for byte.
+        assert_eq!(text.replace("tenant=\"3\",", ""), trace.prometheus_text());
+    }
+
+    #[test]
+    #[should_panic(expected = "escaping")]
+    fn labeled_prometheus_rejects_quotes_in_values() {
+        let _ = sample_trace().prometheus_text_labeled(&[("tenant", "a\"b")]);
     }
 
     #[test]

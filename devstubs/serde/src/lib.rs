@@ -113,6 +113,18 @@ pub fn de_field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Resu
     }
 }
 
+/// Looks up a named struct field, falling back to `Default::default()`
+/// when it is absent — the stub's implementation of `#[serde(default)]`.
+pub fn de_field_or_default<T: Deserialize + Default>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! ser_de_uint {
     ($($ty:ty),*) => {$(
         impl Serialize for $ty {

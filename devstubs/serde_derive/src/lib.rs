@@ -4,22 +4,59 @@
 //!
 //! Supported input shapes — exactly what this workspace uses:
 //! named-field structs, single-field tuple (newtype) structs, and enums
-//! whose variants are unit or struct-like. Generics and `#[serde(...)]`
-//! attributes are rejected loudly.
+//! whose variants are unit or struct-like. Generics are rejected loudly,
+//! and the only `#[serde(...)]` attribute understood is
+//! `#[serde(default)]` on a named field (absent fields deserialize to
+//! `Default::default()`); any other serde attribute panics.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field and whether it carries `#[serde(default)]`.
+#[derive(Debug)]
+struct FieldSpec {
+    name: String,
+    default: bool,
+}
 
 #[derive(Debug)]
 enum Shape {
     /// `struct Name { fields }`
-    Struct { name: String, fields: Vec<String> },
+    Struct {
+        name: String,
+        fields: Vec<FieldSpec>,
+    },
     /// `struct Name(T);`
     Newtype { name: String },
     /// `enum Name { Unit, Data { fields }, ... }`
     Enum {
         name: String,
-        variants: Vec<(String, Option<Vec<String>>)>,
+        variants: Vec<(String, Option<Vec<FieldSpec>>)>,
     },
+}
+
+/// Whether an attribute body (the `[...]` group after `#`) is exactly
+/// `serde(default)`. Any other `serde(...)` payload panics: the stub must
+/// fail loudly rather than silently diverge from real serde semantics.
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let is_default = args.len() == 1
+                && matches!(&args[0], TokenTree::Ident(a) if a.to_string() == "default");
+            assert!(
+                is_default,
+                "serde_derive stub: only #[serde(default)] on a named field is supported"
+            );
+            true
+        }
+        _ => false,
+    }
 }
 
 /// Consumes leading attributes (`#[...]`) and visibility qualifiers.
@@ -43,17 +80,43 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
     }
 }
 
-/// Extracts field names from the tokens of a braced field list.
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+/// Extracts field names (and their `#[serde(default)]` flags) from the
+/// tokens of a braced field list.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<FieldSpec> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        // Consume attributes and visibility, noting `#[serde(default)]`.
+        let mut default = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if attr_is_serde_default(g) {
+                            default = true;
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1; // pub(crate) etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
         let Some(TokenTree::Ident(name)) = tokens.get(i) else {
             break;
         };
-        fields.push(name.to_string());
+        fields.push(FieldSpec {
+            name: name.to_string(),
+            default,
+        });
         i += 1;
         // Expect `:`, then skip the type until a comma at angle-depth 0.
         // Groups are atomic tokens, so only `<`/`>` need depth tracking.
@@ -162,6 +225,7 @@ fn gen_serialize(shape: &Shape) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -192,10 +256,15 @@ fn gen_serialize(shape: &Shape) -> String {
                          ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
                     ),
                     Some(fields) => {
-                        let binders = fields.join(", ");
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries: String = fields
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                      ::serde::Serialize::to_value({f})),"
@@ -226,7 +295,15 @@ fn gen_deserialize(shape: &Shape) -> String {
         Shape::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de_field(fields, \"{f}\")?,"))
+                .map(|f| {
+                    let helper = if f.default {
+                        "de_field_or_default"
+                    } else {
+                        "de_field"
+                    };
+                    let f = &f.name;
+                    format!("{f}: ::serde::{helper}(fields, \"{f}\")?,")
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -261,7 +338,15 @@ fn gen_deserialize(shape: &Shape) -> String {
                 .map(|(vname, fields)| {
                     let inits: String = fields
                         .iter()
-                        .map(|f| format!("{f}: ::serde::de_field(fields, \"{f}\")?,"))
+                        .map(|f| {
+                            let helper = if f.default {
+                                "de_field_or_default"
+                            } else {
+                                "de_field"
+                            };
+                            let f = &f.name;
+                            format!("{f}: ::serde::{helper}(fields, \"{f}\")?,")
+                        })
                         .collect();
                     format!(
                         "\"{vname}\" => {{\n\
@@ -300,7 +385,7 @@ fn gen_deserialize(shape: &Shape) -> String {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse(input);
     gen_serialize(&shape)
@@ -308,7 +393,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive stub: generated Serialize impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse(input);
     gen_deserialize(&shape)

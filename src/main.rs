@@ -4,6 +4,7 @@
 //! mvs run <scenario> <algorithm> [options]   run one pipeline configuration
 //! mvs compare <scenario> [options]           run every algorithm side by side
 //! mvs workload <scenario>                    per-camera workload series (Fig. 2)
+//! mvs serve [serve options]                  multi-tenant serving event loop
 //! ```
 //!
 //! Scenarios: the paper presets `s1`, `s2`, `s3`, plus `city` — a
@@ -15,8 +16,8 @@
 
 use multiview_scheduler::metrics::{sparkline_fit, TextTable};
 use multiview_scheduler::sim::{
-    run_pipeline, run_pipeline_traced, Algorithm, CityConfig, PipelineConfig, Scenario,
-    ScenarioKind,
+    run_pipeline, run_pipeline_traced, run_serve, run_serve_traced, AdmissionDecision, Algorithm,
+    CityConfig, PipelineConfig, Scenario, ScenarioKind, ServeReport,
 };
 use multiview_scheduler::trace::Trace;
 use rand::SeedableRng;
@@ -25,8 +26,14 @@ use std::process::ExitCode;
 
 mod cli {
     //! Hand-rolled argument parsing (kept dependency-free and testable).
+    //!
+    //! Options are validated against the command and scenario they are
+    //! given with: a flag that exists but does not apply (`--intensity` on
+    //! the fixed-geometry `s1` preset, any option after `workload`) is an
+    //! error, not a silent no-op — a typo'd invocation should fail loudly
+    //! rather than measure something other than what was asked.
 
-    use multiview_scheduler::sim::{Algorithm, CityConfig, ScenarioKind};
+    use multiview_scheduler::sim::{Algorithm, CityConfig, FaultModel, ScenarioKind, ServeConfig};
 
     /// A parsed invocation.
     #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +58,14 @@ mod cli {
         Workload {
             /// Scenario under test.
             scenario: ScenarioKind,
+        },
+        /// Run the multi-tenant serving event loop.
+        Serve {
+            /// Full serving configuration.
+            config: ServeConfig,
+            /// When set, write per-tenant trace exports into this
+            /// directory.
+            trace_dir: Option<String>,
         },
         /// Print usage.
         Help,
@@ -114,7 +129,7 @@ mod cli {
             "run" => {
                 let scenario = parse_scenario(it.next())?;
                 let algorithm = parse_algorithm(it.next())?;
-                let options = parse_options(it.as_slice())?;
+                let options = parse_options(scenario, it.as_slice())?;
                 Ok(Command::Run {
                     scenario,
                     algorithm,
@@ -123,12 +138,19 @@ mod cli {
             }
             "compare" => {
                 let scenario = parse_scenario(it.next())?;
-                let options = parse_options(it.as_slice())?;
+                let options = parse_options(scenario, it.as_slice())?;
                 Ok(Command::Compare { scenario, options })
             }
             "workload" => {
                 let scenario = parse_scenario(it.next())?;
+                if let Some(extra) = it.next() {
+                    return Err(format!("`workload` takes no options, got `{extra}`"));
+                }
                 Ok(Command::Workload { scenario })
+            }
+            "serve" => {
+                let (config, trace_dir) = parse_serve_options(it.as_slice())?;
+                Ok(Command::Serve { config, trace_dir })
             }
             other => Err(format!("unknown command `{other}`; try --help")),
         }
@@ -162,8 +184,20 @@ mod cli {
         }
     }
 
-    fn parse_options(rest: &[String]) -> Result<Options, String> {
+    fn parse_options(scenario: ScenarioKind, rest: &[String]) -> Result<Options, String> {
         let mut options = Options::default();
+        // Flags that only make sense for the procedural city scenario —
+        // the paper presets have fixed geometry and traffic, so accepting
+        // these silently would run something other than what was asked.
+        let city_only = |flag: &str| {
+            if scenario == ScenarioKind::City {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{flag} only applies to the `city` scenario, not `{scenario:?}`"
+                ))
+            }
+        };
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -208,6 +242,7 @@ mod cli {
                 "--shard-solver" => options.shard_solver = true,
                 "--trace" => options.trace_dir = Some(value("--trace")?),
                 "--cameras" => {
+                    city_only("--cameras")?;
                     options.cameras = value("--cameras")?
                         .parse()
                         .map_err(|e| format!("--cameras: {e}"))?;
@@ -216,6 +251,7 @@ mod cli {
                     }
                 }
                 "--intensity" => {
+                    city_only("--intensity")?;
                     options.intensity = value("--intensity")?
                         .parse()
                         .map_err(|e| format!("--intensity: {e}"))?;
@@ -232,6 +268,135 @@ mod cli {
             }
         }
         Ok(options)
+    }
+
+    /// Parses `mvs serve` options into a [`ServeConfig`] plus an optional
+    /// trace directory. Serving has its own flag set — pipeline-tuning
+    /// flags like `--horizon` or `--eval-s` are rejected here just like
+    /// serve flags are rejected on `run`.
+    fn parse_serve_options(rest: &[String]) -> Result<(ServeConfig, Option<String>), String> {
+        let mut config = ServeConfig::default();
+        let mut trace_dir = None;
+        let mut loss = 0.0f64;
+        let mut dropout = 0.0f64;
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            fn positive(name: &str, v: f64) -> Result<f64, String> {
+                if v.is_finite() && v > 0.0 {
+                    Ok(v)
+                } else {
+                    Err(format!("{name} must be positive and finite"))
+                }
+            }
+            fn probability(name: &str, v: f64) -> Result<f64, String> {
+                if (0.0..=1.0).contains(&v) {
+                    Ok(v)
+                } else {
+                    Err(format!("{name} must be a probability in [0, 1]"))
+                }
+            }
+            match flag.as_str() {
+                "--tenants" => {
+                    config.tenants = value("--tenants")?
+                        .parse()
+                        .map_err(|e| format!("--tenants: {e}"))?;
+                    if config.tenants == 0 {
+                        return Err("--tenants must be positive".to_string());
+                    }
+                }
+                "--cameras" => {
+                    config.cameras_per_tenant = value("--cameras")?
+                        .parse()
+                        .map_err(|e| format!("--cameras: {e}"))?;
+                    if config.cameras_per_tenant == 0 {
+                        return Err("--cameras must be positive".to_string());
+                    }
+                }
+                "--fps" => {
+                    let v = value("--fps")?.parse().map_err(|e| format!("--fps: {e}"))?;
+                    config.fps = positive("--fps", v)?;
+                }
+                "--duration-s" => {
+                    let v = value("--duration-s")?
+                        .parse()
+                        .map_err(|e| format!("--duration-s: {e}"))?;
+                    config.duration_s = positive("--duration-s", v)?;
+                }
+                "--capacity" => {
+                    let v = value("--capacity")?
+                        .parse()
+                        .map_err(|e| format!("--capacity: {e}"))?;
+                    config.capacity_cores = positive("--capacity", v)?;
+                }
+                "--seed" => {
+                    config.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    config.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--redundancy" => {
+                    config.redundancy = value("--redundancy")?
+                        .parse()
+                        .map_err(|e| format!("--redundancy: {e}"))?;
+                    if config.redundancy == 0 {
+                        return Err("--redundancy must be positive".to_string());
+                    }
+                }
+                "--intensity" => {
+                    let v = value("--intensity")?
+                        .parse()
+                        .map_err(|e| format!("--intensity: {e}"))?;
+                    config.intensity = positive("--intensity", v)?;
+                }
+                "--train-s" => {
+                    let v = value("--train-s")?
+                        .parse()
+                        .map_err(|e| format!("--train-s: {e}"))?;
+                    config.train_s = positive("--train-s", v)?;
+                }
+                "--loss" => {
+                    let v = value("--loss")?
+                        .parse()
+                        .map_err(|e| format!("--loss: {e}"))?;
+                    loss = probability("--loss", v)?;
+                }
+                "--dropout" => {
+                    let v = value("--dropout")?
+                        .parse()
+                        .map_err(|e| format!("--dropout: {e}"))?;
+                    dropout = probability("--dropout", v)?;
+                }
+                "--max-keep-every" => {
+                    config.max_keep_every = value("--max-keep-every")?
+                        .parse()
+                        .map_err(|e| format!("--max-keep-every: {e}"))?;
+                    if config.max_keep_every == 0 {
+                        return Err("--max-keep-every must be positive".to_string());
+                    }
+                }
+                "--shard-solver" => config.shard_solver = true,
+                "--trace" => trace_dir = Some(value("--trace")?),
+                other => return Err(format!("unknown serve option `{other}`")),
+            }
+        }
+        if loss > 0.0 || dropout > 0.0 {
+            config.faults = FaultModel {
+                keyframe_loss: loss,
+                dropout_per_horizon: dropout,
+                rejoin_per_horizon: if dropout > 0.0 { 0.3 } else { 0.0 },
+                ..FaultModel::none()
+            };
+        }
+        Ok((config, trace_dir))
     }
 
     #[cfg(test)]
@@ -360,6 +525,79 @@ mod cli {
         }
 
         #[test]
+        fn rejects_city_flags_on_fixed_presets() {
+            // Satellite of ISSUE 7: these used to parse silently and run
+            // something other than what was asked.
+            assert!(parse(&args("run s1 balb --intensity 2.0")).is_err());
+            assert!(parse(&args("run s2 balb --cameras 64")).is_err());
+            assert!(parse(&args("compare s3 --intensity 0.5")).is_err());
+            // …but they are fine on the scenario they belong to.
+            assert!(parse(&args("run city balb --intensity 2.0 --cameras 64")).is_ok());
+        }
+
+        #[test]
+        fn workload_rejects_trailing_options() {
+            assert!(parse(&args("workload s1 --seed 3")).is_err());
+            assert!(parse(&args("workload s1")).is_ok());
+        }
+
+        #[test]
+        fn parses_serve_defaults() {
+            match parse(&args("serve")).unwrap() {
+                Command::Serve { config, trace_dir } => {
+                    assert_eq!(config, ServeConfig::default());
+                    assert_eq!(trace_dir, None);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn parses_serve_flags() {
+            let c = parse(&args(
+                "serve --tenants 16 --cameras 8 --fps 10 --duration-s 12 --capacity 8 \
+                 --seed 3 --threads 2 --loss 0.2 --dropout 0.1 --redundancy 2 \
+                 --max-keep-every 3 --shard-solver --trace out/serve",
+            ))
+            .unwrap();
+            match c {
+                Command::Serve { config, trace_dir } => {
+                    assert_eq!(config.tenants, 16);
+                    assert_eq!(config.cameras_per_tenant, 8);
+                    assert_eq!(config.fps, 10.0);
+                    assert_eq!(config.duration_s, 12.0);
+                    assert_eq!(config.capacity_cores, 8.0);
+                    assert_eq!(config.seed, 3);
+                    assert_eq!(config.threads, 2);
+                    assert_eq!(config.redundancy, 2);
+                    assert_eq!(config.max_keep_every, 3);
+                    assert!(config.shard_solver);
+                    assert_eq!(config.faults.keyframe_loss, 0.2);
+                    assert_eq!(config.faults.dropout_per_horizon, 0.1);
+                    assert!(config.faults.rejoin_per_horizon > 0.0);
+                    assert_eq!(trace_dir.as_deref(), Some("out/serve"));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn serve_rejects_pipeline_flags_and_bad_values() {
+            // Pipeline-tuning flags do not apply to `serve`.
+            assert!(parse(&args("serve --horizon 20")).is_err());
+            assert!(parse(&args("serve --eval-s 30")).is_err());
+            assert!(parse(&args("serve --no-batching")).is_err());
+            // Value validation.
+            assert!(parse(&args("serve --tenants 0")).is_err());
+            assert!(parse(&args("serve --fps 0")).is_err());
+            assert!(parse(&args("serve --fps nan")).is_err());
+            assert!(parse(&args("serve --loss 1.5")).is_err());
+            assert!(parse(&args("serve --dropout -0.1")).is_err());
+            assert!(parse(&args("serve --capacity")).is_err());
+            assert!(parse(&args("serve --max-keep-every 0")).is_err());
+        }
+
+        #[test]
         fn empty_and_help() {
             assert_eq!(parse(&[]).unwrap(), Command::Help);
             assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
@@ -389,6 +627,7 @@ USAGE:
     mvs run <scenario> <algorithm> [options]   run one pipeline configuration
     mvs compare <scenario> [options]           run every algorithm side by side
     mvs workload <scenario>                    per-camera workload series (Fig. 2)
+    mvs serve [serve options]                  multi-tenant serving event loop
 
 SCENARIOS:
     s1 s2 s3    the paper's deployment presets
@@ -425,6 +664,30 @@ OPTIONS:
     --shard-solver    solve key frames shard-by-shard over the camera
                       overlap graph (identical schedules; compute-only
                       knob for large fleets)
+
+Options only apply where they make sense: city knobs are rejected on the
+fixed presets, serve flags are rejected on `run`, and vice versa.
+
+SERVE OPTIONS:
+    --tenants N        tenant deployments               (default 4)
+    --cameras N        cameras per tenant               (default 8)
+    --fps X            capture rate per tenant          (default 10)
+    --duration-s S     served seconds of virtual time   (default 30)
+    --capacity X       provisioned compute, in cores    (default 4);
+                       admission degrades tenants (shed redundancy, then
+                       process every d-th frame, then reject) until the
+                       aggregate modeled load fits
+    --seed N           base seed; tenant t uses seed+t  (default 2022)
+    --threads N        worker threads, 0 = auto; results identical at any
+    --redundancy N     requested owners per object      (default 1)
+    --intensity X      city traffic multiplier          (default 1.0)
+    --train-s S        association training seconds     (default 20)
+    --loss P           key-frame message loss probability per attempt
+    --dropout P        camera dropout probability per horizon
+    --max-keep-every N deepest frame-thinning rung      (default 4)
+    --shard-solver     sharded central solver
+    --trace DIR        write per-tenant labeled Prometheus text and Chrome
+                       traces into DIR/
 ";
 
 /// Prints the per-stage latency table and writes the three trace exports.
@@ -461,6 +724,69 @@ fn report_trace(trace: &Trace, dir: &str) -> std::io::Result<()> {
     std::fs::write(path.join("stages.prom"), trace.prometheus_text())?;
     std::fs::write(path.join("trace.golden.txt"), trace.golden_text())?;
     println!("trace exports written to {dir}/");
+    Ok(())
+}
+
+/// Prints the per-tenant admission and latency table for a serving run.
+fn report_serve(report: &ServeReport) {
+    let mut table = TextTable::new(vec![
+        "tenant",
+        "decision",
+        "load (cores)",
+        "captured",
+        "processed",
+        "q-dropped",
+        "p-skipped",
+        "e2e p99 (ms)",
+        "recall",
+    ]);
+    for t in &report.tenants {
+        let decision = match t.decision {
+            AdmissionDecision::Admitted => "admitted".to_string(),
+            AdmissionDecision::ShedRedundancy => "shed-redundancy".to_string(),
+            AdmissionDecision::Degraded { keep_every } => format!("keep-1-in-{keep_every}"),
+            AdmissionDecision::Rejected => "REJECTED".to_string(),
+        };
+        table.row(vec![
+            t.tenant.to_string(),
+            decision,
+            format!("{:.2}", t.pilot_load_cores),
+            t.captured.to_string(),
+            t.processed.to_string(),
+            t.queue_dropped.to_string(),
+            t.policy_skipped.to_string(),
+            format!("{:.1}", t.e2e_ms.p99),
+            format!("{:.3}", t.recall),
+        ]);
+    }
+    println!("\nper-tenant admission and serving outcomes\n\n{table}");
+    println!(
+        "aggregate: load {:.2}/{:.2} cores, {} captured, {} processed, drop rate {:.1}%, \
+         e2e p99 {:.1} ms, core utilization {:.1}%",
+        report.admitted_load_cores,
+        report.config.capacity_cores,
+        report.captured,
+        report.processed,
+        report.drop_rate * 100.0,
+        report.e2e_ms.p99,
+        report.core_utilization * 100.0
+    );
+}
+
+/// Writes one labeled Prometheus snapshot and one Chrome trace per tenant.
+fn write_serve_traces(traces: &[Trace], dir: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir);
+    let mut prom = String::new();
+    for (t, trace) in traces.iter().enumerate() {
+        prom.push_str(&trace.prometheus_text_labeled(&[("tenant", &t.to_string())]));
+        std::fs::write(
+            path.join(format!("tenant-{t}.chrome.json")),
+            trace.chrome_trace_json(),
+        )?;
+    }
+    std::fs::write(path.join("tenants.prom"), prom)?;
+    println!("serve trace exports written to {dir}/");
     Ok(())
 }
 
@@ -569,6 +895,30 @@ fn main() -> ExitCode {
                 ]);
             }
             println!("{scenario} comparison\n\n{table}");
+        }
+        cli::Command::Serve { config, trace_dir } => {
+            println!(
+                "serving {} tenants × {} cameras at {} fps on {} cores for {} s…",
+                config.tenants,
+                config.cameras_per_tenant,
+                config.fps,
+                config.capacity_cores,
+                config.duration_s
+            );
+            let (report, traces) = match &trace_dir {
+                Some(_) => {
+                    let (r, t) = run_serve_traced(&config);
+                    (r, Some(t))
+                }
+                None => (run_serve(&config), None),
+            };
+            report_serve(&report);
+            if let (Some(dir), Some(traces)) = (&trace_dir, &traces) {
+                if let Err(e) = write_serve_traces(traces, dir) {
+                    eprintln!("error: writing serve traces to {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
         cli::Command::Workload { scenario } => {
             let sc = Scenario::new(scenario);
