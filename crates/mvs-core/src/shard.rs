@@ -549,6 +549,15 @@ impl ShardedBalbSolver {
         self.stats
     }
 
+    /// Discards all per-shard warm state (every next shard solve is cold).
+    /// Reconfiguration paths — e.g. a serving tenant shedding redundancy —
+    /// call this because the cached schedules describe instances of the
+    /// old configuration.
+    pub fn reset(&mut self) {
+        self.solvers.clear();
+        self.stats = ShardedSolveStats::default();
+    }
+
     /// Solves `problem` shard-by-shard (warm where possible), fanning the
     /// per-shard solves out over up to `threads` scoped threads, and
     /// returns the merged deployment-wide schedule.

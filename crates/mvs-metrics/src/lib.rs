@@ -15,6 +15,8 @@
 //!   experiment binaries.
 //! * [`DegradationCounters`] — graceful-degradation bookkeeping for
 //!   fault-injection runs (dropouts, lost sync messages, coverage loss).
+//! * [`RecoveryCounters`] — crash-recovery bookkeeping for the serving
+//!   layer (restarts, replayed frames, quarantines, snapshot staleness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ mod degradation;
 mod latency;
 mod overhead;
 mod recall;
+mod recovery;
 mod report;
 mod running;
 mod sparkline;
@@ -32,6 +35,7 @@ pub use degradation::DegradationCounters;
 pub use latency::LatencySeries;
 pub use overhead::{OverheadBreakdown, OverheadSample};
 pub use recall::RecallAccumulator;
+pub use recovery::RecoveryCounters;
 pub use report::TextTable;
 pub use running::Running;
 pub use sparkline::{sparkline, sparkline_fit};

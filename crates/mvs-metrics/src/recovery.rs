@@ -1,0 +1,174 @@
+//! Crash-recovery bookkeeping for the serving layer.
+//!
+//! The serve loop survives coordinator crashes (restore from the latest
+//! snapshot plus bounded replay), per-tenant pipeline poison (quarantine
+//! and re-admission), and compute-pool degradation. These counters
+//! quantify how much of that machinery a run exercised, so the chaos
+//! benchmarks can report MTTR and availability against the fault schedule
+//! actually experienced.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing every recovery event observed during one serving
+/// run.
+///
+/// All fields are cumulative over the run and survive coordinator
+/// restarts (they are part of every snapshot). A fault-free run with
+/// snapshotting disabled reports all zeros. Counters merge via
+/// [`RecoveryCounters::merge`]: additively, except
+/// [`RecoveryCounters::staleness_at_resume_us`], which is a maximum.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_metrics::RecoveryCounters;
+///
+/// let mut total = RecoveryCounters::default();
+/// let mut run = RecoveryCounters::default();
+/// run.restarts = 1;
+/// run.recovery_us = 40_000;
+/// total.merge(&run);
+/// total.merge(&run);
+/// assert_eq!(total.restarts, 2);
+/// assert_eq!(total.mttr_us(), 40_000.0);
+/// assert!(total.any());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryCounters {
+    /// Coordinator restarts (one per injected crash that was recovered).
+    #[serde(default)]
+    pub restarts: u64,
+    /// Capture-clock frames that fell into a crash gap and were replayed
+    /// as skips when the coordinator resumed (they advance the world but
+    /// were never offered to the ingest lanes).
+    #[serde(default)]
+    pub replayed_frames: u64,
+    /// Virtual µs from each crash to the first frame dispatched after its
+    /// recovery, summed over restarts. `mttr_us` divides this out.
+    #[serde(default)]
+    pub recovery_us: u64,
+    /// Virtual µs the coordinator was down (crash → restart), summed.
+    #[serde(default)]
+    pub outage_us: u64,
+    /// Worst-case snapshot age at resume: the largest gap between a
+    /// restored snapshot's capture time and the restart instant, µs.
+    #[serde(default)]
+    pub staleness_at_resume_us: u64,
+    /// Periodic snapshots taken (the initial construction-time snapshot
+    /// is not counted).
+    #[serde(default)]
+    pub snapshots_taken: u64,
+    /// Tenant pipelines poisoned and quarantined.
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Quarantined tenants re-piloted through the admission ladder after
+    /// their quarantine window expired (whatever rung they landed on).
+    #[serde(default)]
+    pub readmissions: u64,
+    /// Pipeline steps that panicked under injected poison (caught and
+    /// isolated; never more than one per quarantine).
+    #[serde(default)]
+    pub poisoned_steps: u64,
+}
+
+impl RecoveryCounters {
+    /// Adds another run's counters into this one: additively, except the
+    /// staleness high-water mark, which takes the maximum.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.restarts += other.restarts;
+        self.replayed_frames += other.replayed_frames;
+        self.recovery_us += other.recovery_us;
+        self.outage_us += other.outage_us;
+        self.staleness_at_resume_us = self
+            .staleness_at_resume_us
+            .max(other.staleness_at_resume_us);
+        self.snapshots_taken += other.snapshots_taken;
+        self.quarantines += other.quarantines;
+        self.readmissions += other.readmissions;
+        self.poisoned_steps += other.poisoned_steps;
+    }
+
+    /// Whether any recovery machinery ran at all.
+    pub fn any(&self) -> bool {
+        *self != RecoveryCounters::default()
+    }
+
+    /// Mean time to recovery in virtual µs: crash → first post-recovery
+    /// dispatch, averaged over restarts (0.0 when nothing crashed).
+    pub fn mttr_us(&self) -> f64 {
+        if self.restarts == 0 {
+            0.0
+        } else {
+            self.recovery_us as f64 / self.restarts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reports_no_recovery() {
+        let c = RecoveryCounters::default();
+        assert!(!c.any());
+        assert_eq!(c.mttr_us(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_staleness() {
+        let a = RecoveryCounters {
+            restarts: 1,
+            replayed_frames: 2,
+            recovery_us: 3,
+            outage_us: 4,
+            staleness_at_resume_us: 500,
+            snapshots_taken: 6,
+            quarantines: 7,
+            readmissions: 8,
+            poisoned_steps: 9,
+        };
+        let b = RecoveryCounters {
+            staleness_at_resume_us: 50,
+            ..a
+        };
+        let mut sum = a;
+        sum.merge(&b);
+        assert_eq!(
+            sum,
+            RecoveryCounters {
+                restarts: 2,
+                replayed_frames: 4,
+                recovery_us: 6,
+                outage_us: 8,
+                staleness_at_resume_us: 500,
+                snapshots_taken: 12,
+                quarantines: 14,
+                readmissions: 16,
+                poisoned_steps: 18,
+            }
+        );
+        assert!(sum.any());
+        assert_eq!(sum.mttr_us(), 3.0);
+    }
+
+    #[test]
+    fn deserializes_from_empty_object() {
+        // Reports serialized before the recovery counters existed
+        // (checked-in bench baselines) must still load.
+        let c: RecoveryCounters = serde_json::from_str("{}").expect("deserialize");
+        assert_eq!(c, RecoveryCounters::default());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = RecoveryCounters {
+            restarts: 2,
+            staleness_at_resume_us: 120_000,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: RecoveryCounters = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(c, back);
+    }
+}

@@ -89,6 +89,14 @@ impl Summary {
     }
 }
 
+impl Default for Summary {
+    /// The zeroed summary of an empty sample set — the value report fields
+    /// fall back to when deserializing JSON that predates them.
+    fn default() -> Summary {
+        Summary::of_lenient(&[])
+    }
+}
+
 /// Nearest-rank percentile on pre-sorted data.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     let n = sorted.len();

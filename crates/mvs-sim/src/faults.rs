@@ -18,6 +18,16 @@
 //! An inactive model ([`FaultModel::none`], the default) draws nothing and
 //! leaves every camera permanently alive, so fault-free runs are bitwise
 //! identical to runs of a build without this module.
+//!
+//! The serving layer adds its own fault domains on top —
+//! [`ServeFaultModel`] schedules coordinator crashes, per-tenant pipeline
+//! poison, and compute-pool degradation for `mvs serve` chaos runs. Both
+//! models validate their parameters up front ([`FaultModel::validate`],
+//! [`ServeFaultModel::validate`]) so the CLI can reject a nonsensical
+//! configuration with a typed error instead of panicking mid-run.
+
+use std::error::Error;
+use std::fmt;
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -90,6 +100,258 @@ impl FaultModel {
 impl Default for FaultModel {
     fn default() -> Self {
         FaultModel::none()
+    }
+}
+
+/// Why a [`FaultModel`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModelError {
+    /// A probability field lies outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// The offending field's name.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `retry_timeout_ms` is negative or non-finite.
+    BadRetryTimeout {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `min_alive` exceeds the deployment's camera count, so the dropout
+    /// floor could never be satisfied.
+    MinAliveExceedsCameras {
+        /// The configured floor.
+        min_alive: usize,
+        /// Cameras actually deployed.
+        cameras: usize,
+    },
+}
+
+impl fmt::Display for FaultModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModelError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1], got {value}")
+            }
+            FaultModelError::BadRetryTimeout { value } => {
+                write!(f, "retry_timeout_ms must be finite and >= 0, got {value}")
+            }
+            FaultModelError::MinAliveExceedsCameras { min_alive, cameras } => {
+                write!(
+                    f,
+                    "min_alive ({min_alive}) exceeds the deployment's camera count ({cameras})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FaultModelError {}
+
+impl FaultModel {
+    /// Checks the model against a deployment of `cameras` cameras,
+    /// returning the first violated constraint. [`FaultModel::none`]
+    /// always validates (for any `cameras >= 1`).
+    pub fn validate(&self, cameras: usize) -> Result<(), FaultModelError> {
+        let probabilities = [
+            ("dropout_per_horizon", self.dropout_per_horizon),
+            ("rejoin_per_horizon", self.rejoin_per_horizon),
+            ("keyframe_loss", self.keyframe_loss),
+        ];
+        for (field, value) in probabilities {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultModelError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        if !self.retry_timeout_ms.is_finite() || self.retry_timeout_ms < 0.0 {
+            return Err(FaultModelError::BadRetryTimeout {
+                value: self.retry_timeout_ms,
+            });
+        }
+        if self.min_alive > cameras {
+            return Err(FaultModelError::MinAliveExceedsCameras {
+                min_alive: self.min_alive,
+                cameras,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One scheduled compute-pool degradation event for the serving layer:
+/// from [`PoolDegrade::at_us`] onward the pool runs at
+/// `capacity_factor × capacity_cores` and every modeled service time is
+/// multiplied by `service_inflation` (stragglers). A later event replaces
+/// the factors wholesale, so `{at_us, 1.0, 1.0}` restores the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolDegrade {
+    /// Virtual time the degradation takes effect, µs.
+    pub at_us: u64,
+    /// Multiplier on the provisioned capacity (1.0 = healthy; 0.5 = half
+    /// the cores). Must be finite and positive.
+    pub capacity_factor: f64,
+    /// Multiplier on every modeled per-frame service time (1.0 = healthy;
+    /// 1.5 = every frame takes 50% longer). Must be finite and positive.
+    pub service_inflation: f64,
+}
+
+/// Seeded serve-level chaos schedule: coordinator crashes, per-tenant
+/// pipeline poison, and compute-pool degradation. Extends [`FaultModel`]
+/// (which injects camera/network faults *inside* each tenant pipeline) to
+/// the serving layer itself.
+///
+/// Like [`FaultModel`], an inactive model ([`ServeFaultModel::none`], the
+/// default) draws nothing, so chaos-free serve runs are bitwise identical
+/// to runs of a build without this machinery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeFaultModel {
+    /// Seed of the dedicated serve-level chaos RNG stream (independent of
+    /// the world, camera, and pipeline-fault streams).
+    #[serde(default)]
+    pub seed: u64,
+    /// Virtual times at which the coordinator crashes, losing all
+    /// in-memory state since the latest snapshot, µs. Must be strictly
+    /// increasing; crashes require snapshotting to be enabled.
+    #[serde(default)]
+    pub crash_at_us: Vec<u64>,
+    /// Outage length: the coordinator restarts this long after each
+    /// crash, µs.
+    #[serde(default)]
+    pub restart_delay_us: u64,
+    /// Probability that a dispatched frame poisons its tenant's pipeline
+    /// (the step panics; the panic is caught and the tenant quarantined).
+    /// One chaos draw per dispatch while positive; no draws at 0.
+    #[serde(default)]
+    pub poison_per_frame: f64,
+    /// How long a poisoned tenant sits out before being re-piloted
+    /// through the admission ladder, µs.
+    #[serde(default)]
+    pub quarantine_us: u64,
+    /// Scheduled pool degradations, in event-time order.
+    #[serde(default)]
+    pub degrades: Vec<PoolDegrade>,
+}
+
+impl ServeFaultModel {
+    /// The chaos-free model: no crashes, no poison, no degradation.
+    pub fn none() -> Self {
+        ServeFaultModel {
+            seed: 0,
+            crash_at_us: Vec::new(),
+            restart_delay_us: 500_000,
+            poison_per_frame: 0.0,
+            quarantine_us: 5_000_000,
+            degrades: Vec::new(),
+        }
+    }
+
+    /// Whether this model can inject any serve-level fault at all.
+    pub fn is_active(&self) -> bool {
+        !self.crash_at_us.is_empty() || self.poison_per_frame > 0.0 || !self.degrades.is_empty()
+    }
+}
+
+impl Default for ServeFaultModel {
+    fn default() -> Self {
+        ServeFaultModel::none()
+    }
+}
+
+/// Why a [`ServeFaultModel`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeFaultError {
+    /// `poison_per_frame` lies outside `[0, 1]`.
+    PoisonOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `crash_at_us` is not strictly increasing.
+    CrashTimesNotIncreasing,
+    /// Crashes are scheduled but `restart_delay_us` is zero, which would
+    /// restart the coordinator at the crash instant and re-fire the same
+    /// crash forever.
+    ZeroRestartDelay,
+    /// `degrades` is not sorted by `at_us`.
+    DegradeTimesNotSorted,
+    /// A degrade event's `capacity_factor` is not finite and positive.
+    BadCapacityFactor {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A degrade event's `service_inflation` is not finite and positive.
+    BadServiceInflation {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ServeFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeFaultError::PoisonOutOfRange { value } => {
+                write!(
+                    f,
+                    "poison_per_frame must be a probability in [0, 1], got {value}"
+                )
+            }
+            ServeFaultError::CrashTimesNotIncreasing => {
+                write!(f, "crash_at_us must be strictly increasing")
+            }
+            ServeFaultError::ZeroRestartDelay => {
+                write!(
+                    f,
+                    "restart_delay_us must be positive when crashes are scheduled"
+                )
+            }
+            ServeFaultError::DegradeTimesNotSorted => {
+                write!(f, "degrades must be sorted by at_us")
+            }
+            ServeFaultError::BadCapacityFactor { value } => {
+                write!(f, "capacity_factor must be finite and > 0, got {value}")
+            }
+            ServeFaultError::BadServiceInflation { value } => {
+                write!(f, "service_inflation must be finite and > 0, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for ServeFaultError {}
+
+impl ServeFaultModel {
+    /// Checks the chaos schedule's internal consistency, returning the
+    /// first violated constraint. (Whether crashes are allowed at all
+    /// depends on the serve configuration's snapshot cadence — the serve
+    /// layer checks that separately.)
+    pub fn validate(&self) -> Result<(), ServeFaultError> {
+        if !self.poison_per_frame.is_finite() || !(0.0..=1.0).contains(&self.poison_per_frame) {
+            return Err(ServeFaultError::PoisonOutOfRange {
+                value: self.poison_per_frame,
+            });
+        }
+        if self.crash_at_us.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(ServeFaultError::CrashTimesNotIncreasing);
+        }
+        if !self.crash_at_us.is_empty() && self.restart_delay_us == 0 {
+            return Err(ServeFaultError::ZeroRestartDelay);
+        }
+        if self.degrades.windows(2).any(|w| w[1].at_us < w[0].at_us) {
+            return Err(ServeFaultError::DegradeTimesNotSorted);
+        }
+        for d in &self.degrades {
+            if !d.capacity_factor.is_finite() || d.capacity_factor <= 0.0 {
+                return Err(ServeFaultError::BadCapacityFactor {
+                    value: d.capacity_factor,
+                });
+            }
+            if !d.service_inflation.is_finite() || d.service_inflation <= 0.0 {
+                return Err(ServeFaultError::BadServiceInflation {
+                    value: d.service_inflation,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -260,6 +522,165 @@ mod tests {
         assert_eq!(second.rejoined.len(), 2, "everyone dead comes back");
         // With certain rejoin the alive count oscillates but never empties.
         assert!(s.alive().iter().filter(|&&a| a).count() >= 1);
+    }
+
+    #[test]
+    fn validate_accepts_the_inactive_model() {
+        assert_eq!(FaultModel::none().validate(1), Ok(()));
+        assert_eq!(ServeFaultModel::none().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_probabilities() {
+        let model = FaultModel {
+            dropout_per_horizon: 1.5,
+            ..FaultModel::none()
+        };
+        assert_eq!(
+            model.validate(4),
+            Err(FaultModelError::ProbabilityOutOfRange {
+                field: "dropout_per_horizon",
+                value: 1.5,
+            })
+        );
+        let model = FaultModel {
+            keyframe_loss: f64::NAN,
+            ..FaultModel::none()
+        };
+        assert!(matches!(
+            model.validate(4),
+            Err(FaultModelError::ProbabilityOutOfRange {
+                field: "keyframe_loss",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_min_alive_above_camera_count() {
+        let model = FaultModel {
+            min_alive: 5,
+            ..FaultModel::none()
+        };
+        let err = model.validate(4).unwrap_err();
+        assert_eq!(
+            err,
+            FaultModelError::MinAliveExceedsCameras {
+                min_alive: 5,
+                cameras: 4,
+            }
+        );
+        assert!(err.to_string().contains("min_alive"));
+        assert_eq!(model.validate(5), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_retry_timeout() {
+        let model = FaultModel {
+            retry_timeout_ms: -1.0,
+            ..FaultModel::none()
+        };
+        assert_eq!(
+            model.validate(1),
+            Err(FaultModelError::BadRetryTimeout { value: -1.0 })
+        );
+    }
+
+    #[test]
+    fn serve_fault_validation_covers_every_constraint() {
+        let base = ServeFaultModel::none();
+        let bad_poison = ServeFaultModel {
+            poison_per_frame: -0.1,
+            ..base.clone()
+        };
+        assert_eq!(
+            bad_poison.validate(),
+            Err(ServeFaultError::PoisonOutOfRange { value: -0.1 })
+        );
+        let bad_crashes = ServeFaultModel {
+            crash_at_us: vec![5_000_000, 5_000_000],
+            ..base.clone()
+        };
+        assert_eq!(
+            bad_crashes.validate(),
+            Err(ServeFaultError::CrashTimesNotIncreasing)
+        );
+        let instant_restart = ServeFaultModel {
+            crash_at_us: vec![5_000_000],
+            restart_delay_us: 0,
+            ..base.clone()
+        };
+        assert_eq!(
+            instant_restart.validate(),
+            Err(ServeFaultError::ZeroRestartDelay)
+        );
+        let bad_degrade = ServeFaultModel {
+            degrades: vec![PoolDegrade {
+                at_us: 0,
+                capacity_factor: 0.0,
+                service_inflation: 1.0,
+            }],
+            ..base.clone()
+        };
+        assert_eq!(
+            bad_degrade.validate(),
+            Err(ServeFaultError::BadCapacityFactor { value: 0.0 })
+        );
+        let bad_inflation = ServeFaultModel {
+            degrades: vec![PoolDegrade {
+                at_us: 0,
+                capacity_factor: 1.0,
+                service_inflation: f64::INFINITY,
+            }],
+            ..base.clone()
+        };
+        assert!(matches!(
+            bad_inflation.validate(),
+            Err(ServeFaultError::BadServiceInflation { .. })
+        ));
+        let unsorted = ServeFaultModel {
+            degrades: vec![
+                PoolDegrade {
+                    at_us: 9,
+                    capacity_factor: 0.5,
+                    service_inflation: 1.0,
+                },
+                PoolDegrade {
+                    at_us: 3,
+                    capacity_factor: 1.0,
+                    service_inflation: 1.0,
+                },
+            ],
+            ..base
+        };
+        assert_eq!(
+            unsorted.validate(),
+            Err(ServeFaultError::DegradeTimesNotSorted)
+        );
+    }
+
+    #[test]
+    fn serve_fault_activity_tracks_every_domain() {
+        assert!(!ServeFaultModel::none().is_active());
+        let crash = ServeFaultModel {
+            crash_at_us: vec![1],
+            ..ServeFaultModel::none()
+        };
+        assert!(crash.is_active());
+        let poison = ServeFaultModel {
+            poison_per_frame: 0.1,
+            ..ServeFaultModel::none()
+        };
+        assert!(poison.is_active());
+        let degrade = ServeFaultModel {
+            degrades: vec![PoolDegrade {
+                at_us: 0,
+                capacity_factor: 0.5,
+                service_inflation: 1.0,
+            }],
+            ..ServeFaultModel::none()
+        };
+        assert!(degrade.is_active());
     }
 
     #[test]

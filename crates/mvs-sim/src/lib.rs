@@ -15,8 +15,10 @@
 //! * [`MaskPrecompute`] / [`StaticWorldPartition`] — distributed-stage
 //!   masks and the SP baseline's offline allocation;
 //! * [`NetworkModel`] — the 20/100 Mbps camera↔scheduler link;
-//! * [`FaultModel`] — seeded camera-dropout and key-frame message-loss
-//!   injection with timeout-plus-retry recovery;
+//! * [`FaultModel`] / [`ServeFaultModel`] — seeded camera-dropout and
+//!   key-frame message-loss injection with timeout-plus-retry recovery,
+//!   plus serve-level chaos (coordinator crashes, pipeline poison, pool
+//!   degradation);
 //! * [`run_pipeline`] — the full frame-by-frame system (Fig. 5) for every
 //!   algorithm in the paper's comparison set.
 //!
@@ -50,7 +52,7 @@ mod world;
 
 pub use camera::CameraModel;
 pub use correspond::{CorrespondenceData, TrainedAssociation};
-pub use faults::FaultModel;
+pub use faults::{FaultModel, FaultModelError, PoolDegrade, ServeFaultError, ServeFaultModel};
 pub use masks::{MaskPrecompute, StaticWorldPartition};
 pub use messages::{AssignmentMessage, ObjectRecord, UploadMessage};
 pub use network::{NetworkModel, BYTES_PER_OBJECT, MESSAGE_HEADER_BYTES};
@@ -58,12 +60,13 @@ pub use render::render_ascii;
 pub use response::{replay_response, QueuePolicy, ResponseStats};
 pub use runtime::{
     run_pipeline, run_pipeline_traced, Algorithm, OverheadModel, PipelineConfig, PipelineResult,
-    PipelineStats, TenantPipeline,
+    PipelineStats, PoisonPanic, TenantPipeline,
 };
 pub use scenario::{CityConfig, Scenario, ScenarioBuildError, ScenarioBuilder, ScenarioKind};
 pub use serve::{
-    run_serve, run_serve_traced, AdmissionDecision, DecisionCounts, IngestLane, ServeConfig,
-    ServeReport, TenantReport,
+    run_serve, run_serve_traced, AdmissionDecision, AdmissionTransition, DecisionCounts,
+    IngestLane, ServeConfig, ServeConfigError, ServeLoop, ServeReport, ServeSnapshot, TenantReport,
+    TransitionReason,
 };
 pub use trajectory::{FollowingModel, Route, SpawnConfig, TrafficLight};
 pub use worker::resolve_threads;

@@ -1477,7 +1477,18 @@ pub struct TenantPipeline {
     inner: Pipeline,
     workers: Vec<CameraWorker>,
     next_frame: usize,
+    /// Armed by [`TenantPipeline::poison_next_step`]: the next `step`
+    /// panics with a [`PoisonPanic`] payload (chaos injection).
+    poisoned: bool,
 }
+
+/// Marker payload of a chaos-injected pipeline panic: the serve loop arms
+/// a tenant via [`TenantPipeline::poison_next_step`], catches the
+/// resulting unwind, and quarantines the tenant. Carrying a dedicated
+/// payload type lets the catch site distinguish injected poison from a
+/// genuine pipeline bug — anything else is re-raised, never swallowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonPanic;
 
 impl TenantPipeline {
     /// Builds a steppable pipeline (trains association models, warms the
@@ -1494,6 +1505,7 @@ impl TenantPipeline {
             inner,
             workers,
             next_frame: 0,
+            poisoned: false,
         }
     }
 
@@ -1528,6 +1540,7 @@ impl TenantPipeline {
         if self.inner.config.redundancy != redundancy {
             self.inner.config.redundancy = redundancy;
             self.inner.solver.reset();
+            self.inner.sharded_solver.reset();
         }
     }
 
@@ -1553,10 +1566,35 @@ impl TenantPipeline {
     /// [`DegradationCounters::rejected_samples`]) — callers must guard the
     /// same way.
     pub fn step(&mut self) -> f64 {
+        if self.poisoned {
+            self.poisoned = false;
+            std::panic::panic_any(PoisonPanic);
+        }
         let frame = self.next_frame;
         self.next_frame += 1;
         let system = self.inner.step_frame(&mut self.workers, frame);
         system + self.inner.central_per_frame_ms
+    }
+
+    /// Arms the pipeline so its next [`TenantPipeline::step`] panics with
+    /// a [`PoisonPanic`] payload before touching any state — the serve
+    /// layer's chaos harness uses this to exercise its `catch_unwind`
+    /// isolation and quarantine path deterministically.
+    pub fn poison_next_step(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Records a [`Stage::Recovery`](mvs_trace::Stage::Recovery) span on
+    /// the coordinator lane of a traced pipeline: `replay_ms` modeled
+    /// milliseconds spent replaying `frames` frames while restoring this
+    /// tenant from a snapshot. No-op without tracing.
+    pub fn note_recovery(&mut self, replay_ms: f64, frames: usize) {
+        if let Some(tracer) = self.inner.tracer.as_mut() {
+            tracer.begin_frame(self.next_frame);
+            tracer
+                .coordinator()
+                .span(mvs_trace::Stage::Recovery, replay_ms, frames);
+        }
     }
 
     /// Drops the next capture-clock frame without processing it (the

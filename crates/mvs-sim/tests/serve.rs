@@ -105,7 +105,7 @@ fn serve_conserves_every_captured_frame() {
     for t in &report.tenants {
         assert_eq!(
             t.captured,
-            t.processed + t.queue_dropped + t.policy_skipped,
+            t.processed + t.queue_dropped + t.policy_skipped + t.replayed,
             "tenant {}: frames leaked",
             t.tenant
         );
@@ -113,7 +113,7 @@ fn serve_conserves_every_captured_frame() {
     }
     assert_eq!(
         report.captured,
-        report.processed + report.queue_dropped + report.policy_skipped
+        report.processed + report.queue_dropped + report.policy_skipped + report.replayed
     );
 }
 
@@ -146,7 +146,10 @@ fn sixteen_tenant_city_workload_survives_faults() {
     assert!(report.admitted_load_cores <= config.capacity_cores + 1e-9);
     for t in &report.tenants {
         assert!(t.max_lane_depth <= 1, "tenant {}: lane grew", t.tenant);
-        assert_eq!(t.captured, t.processed + t.queue_dropped + t.policy_skipped);
+        assert_eq!(
+            t.captured,
+            t.processed + t.queue_dropped + t.policy_skipped + t.replayed
+        );
         if t.processed > 0 {
             assert!(t.e2e_ms.p99.is_finite());
             assert_eq!(t.e2e_ms.rejected, 0, "poisoned e2e samples");

@@ -38,11 +38,15 @@ pub enum Stage {
     /// DNN inference (full-frame on key frames, batched crops on regular
     /// frames). Items = detections returned or crops processed.
     Detect,
+    /// Coordinator crash recovery: rebuilding a tenant pipeline from a
+    /// snapshot's replay recipe. Duration is the modeled cost of the
+    /// replayed steps; items = frames replayed.
+    Recovery,
 }
 
 impl Stage {
     /// All stages in canonical export order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Fault,
         Stage::Central,
         Stage::Sync,
@@ -52,6 +56,7 @@ impl Stage {
         Stage::Slice,
         Stage::Batch,
         Stage::Detect,
+        Stage::Recovery,
     ];
 
     /// Stable lowercase name used in every text export.
@@ -67,6 +72,7 @@ impl Stage {
             Stage::Slice => "slice",
             Stage::Batch => "batch",
             Stage::Detect => "detect",
+            Stage::Recovery => "recovery",
         }
     }
 }

@@ -33,7 +33,9 @@ mod cli {
     //! error, not a silent no-op — a typo'd invocation should fail loudly
     //! rather than measure something other than what was asked.
 
-    use multiview_scheduler::sim::{Algorithm, CityConfig, FaultModel, ScenarioKind, ServeConfig};
+    use multiview_scheduler::sim::{
+        Algorithm, CityConfig, FaultModel, PoolDegrade, ScenarioKind, ServeConfig,
+    };
 
     /// A parsed invocation.
     #[derive(Debug, Clone, PartialEq)]
@@ -279,6 +281,7 @@ mod cli {
         let mut trace_dir = None;
         let mut loss = 0.0f64;
         let mut dropout = 0.0f64;
+        let mut snapshot_every: Option<u64> = None;
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -385,6 +388,79 @@ mod cli {
                 }
                 "--shard-solver" => config.shard_solver = true,
                 "--trace" => trace_dir = Some(value("--trace")?),
+                "--chaos-seed" => {
+                    config.chaos.seed = value("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?;
+                }
+                "--crash-at" => {
+                    for part in value("--crash-at")?.split(',') {
+                        let v: f64 = part
+                            .parse()
+                            .map_err(|e| format!("--crash-at `{part}`: {e}"))?;
+                        if !v.is_finite() || v < 0.0 {
+                            return Err("--crash-at times must be non-negative seconds".into());
+                        }
+                        config.chaos.crash_at_us.push((v * 1e6).round() as u64);
+                    }
+                }
+                "--restart-delay-s" => {
+                    let v = value("--restart-delay-s")?
+                        .parse()
+                        .map_err(|e| format!("--restart-delay-s: {e}"))?;
+                    config.chaos.restart_delay_us =
+                        (positive("--restart-delay-s", v)? * 1e6).round() as u64;
+                }
+                "--poison" => {
+                    let v = value("--poison")?
+                        .parse()
+                        .map_err(|e| format!("--poison: {e}"))?;
+                    config.chaos.poison_per_frame = probability("--poison", v)?;
+                }
+                "--quarantine-s" => {
+                    let v = value("--quarantine-s")?
+                        .parse()
+                        .map_err(|e| format!("--quarantine-s: {e}"))?;
+                    config.chaos.quarantine_us =
+                        (positive("--quarantine-s", v)? * 1e6).round() as u64;
+                }
+                "--degrade" => {
+                    let spec = value("--degrade")?;
+                    let parts: Vec<&str> = spec.split(':').collect();
+                    if parts.len() < 2 || parts.len() > 3 {
+                        return Err(format!(
+                            "--degrade expects AT_S:CAPACITY_FACTOR[:SERVICE_INFLATION], \
+                             got `{spec}`"
+                        ));
+                    }
+                    let at_s: f64 = parts[0]
+                        .parse()
+                        .map_err(|e| format!("--degrade at `{}`: {e}", parts[0]))?;
+                    if !at_s.is_finite() || at_s < 0.0 {
+                        return Err("--degrade time must be non-negative seconds".into());
+                    }
+                    let factor: f64 = parts[1]
+                        .parse()
+                        .map_err(|e| format!("--degrade factor `{}`: {e}", parts[1]))?;
+                    let inflation: f64 = match parts.get(2) {
+                        Some(p) => p
+                            .parse()
+                            .map_err(|e| format!("--degrade inflation `{p}`: {e}"))?,
+                        None => 1.0,
+                    };
+                    config.chaos.degrades.push(PoolDegrade {
+                        at_us: (at_s * 1e6).round() as u64,
+                        capacity_factor: factor,
+                        service_inflation: inflation,
+                    });
+                }
+                "--snapshot-every" => {
+                    snapshot_every = Some(
+                        value("--snapshot-every")?
+                            .parse()
+                            .map_err(|e| format!("--snapshot-every: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown serve option `{other}`")),
             }
         }
@@ -396,6 +472,17 @@ mod cli {
                 ..FaultModel::none()
             };
         }
+        // Crashes need checkpoints to recover from: default to a
+        // one-horizon cadence when crashes are scheduled and the user
+        // did not pick one explicitly.
+        config.snapshot_every_horizons =
+            snapshot_every.unwrap_or(u64::from(!config.chaos.crash_at_us.is_empty()));
+        // Cross-field consistency comes from the typed validator, so a
+        // nonsensical mix fails here with its message instead of
+        // panicking mid-run.
+        config
+            .validate()
+            .map_err(|e| format!("invalid serve configuration: {e}"))?;
         Ok((config, trace_dir))
     }
 
@@ -582,6 +669,65 @@ mod cli {
         }
 
         #[test]
+        fn parses_serve_chaos_flags() {
+            let c = parse(&args(
+                "serve --chaos-seed 7 --crash-at 2.5,4 --restart-delay-s 0.25 \
+                 --poison 0.01 --quarantine-s 3 --degrade 6:0.5:1.5 --degrade 9:1",
+            ))
+            .unwrap();
+            match c {
+                Command::Serve { config, .. } => {
+                    assert_eq!(config.chaos.seed, 7);
+                    assert_eq!(config.chaos.crash_at_us, vec![2_500_000, 4_000_000]);
+                    assert_eq!(config.chaos.restart_delay_us, 250_000);
+                    assert_eq!(config.chaos.poison_per_frame, 0.01);
+                    assert_eq!(config.chaos.quarantine_us, 3_000_000);
+                    assert_eq!(config.chaos.degrades.len(), 2);
+                    assert_eq!(config.chaos.degrades[0].at_us, 6_000_000);
+                    assert_eq!(config.chaos.degrades[0].capacity_factor, 0.5);
+                    assert_eq!(config.chaos.degrades[0].service_inflation, 1.5);
+                    assert_eq!(config.chaos.degrades[1].at_us, 9_000_000);
+                    assert_eq!(config.chaos.degrades[1].capacity_factor, 1.0);
+                    assert_eq!(config.chaos.degrades[1].service_inflation, 1.0);
+                    // --crash-at implies snapshotting.
+                    assert_eq!(config.snapshot_every_horizons, 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            // Without crashes snapshotting stays off unless asked for.
+            match parse(&args("serve --poison 0.01")).unwrap() {
+                Command::Serve { config, .. } => {
+                    assert_eq!(config.snapshot_every_horizons, 0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            match parse(&args("serve --snapshot-every 2")).unwrap() {
+                Command::Serve { config, .. } => {
+                    assert_eq!(config.snapshot_every_horizons, 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
+        fn serve_rejects_bad_chaos_values() {
+            assert!(parse(&args("serve --poison 1.5")).is_err());
+            assert!(parse(&args("serve --poison nan")).is_err());
+            assert!(parse(&args("serve --crash-at -1")).is_err());
+            assert!(parse(&args("serve --crash-at 4,2")).is_err());
+            assert!(parse(&args("serve --restart-delay-s 0")).is_err());
+            assert!(parse(&args("serve --quarantine-s 0")).is_err());
+            assert!(parse(&args("serve --degrade 5")).is_err());
+            assert!(parse(&args("serve --degrade 5:0")).is_err());
+            assert!(parse(&args("serve --degrade 5:0.5:0")).is_err());
+            assert!(parse(&args("serve --degrade 5:0.5:1:2")).is_err());
+            // Crashing without snapshots cannot recover; surfaced as a
+            // typed error instead of a mid-run panic.
+            let err = parse(&args("serve --crash-at 5 --snapshot-every 0")).unwrap_err();
+            assert!(err.contains("snapshot"), "unexpected message: {err}");
+        }
+
+        #[test]
         fn serve_rejects_pipeline_flags_and_bad_values() {
             // Pipeline-tuning flags do not apply to `serve`.
             assert!(parse(&args("serve --horizon 20")).is_err());
@@ -688,6 +834,23 @@ SERVE OPTIONS:
     --shard-solver     sharded central solver
     --trace DIR        write per-tenant labeled Prometheus text and Chrome
                        traces into DIR/
+
+SERVE CHAOS OPTIONS (all virtual-time, seeded, deterministic):
+    --chaos-seed N     seed of the serve-level chaos stream (default 0)
+    --crash-at S[,S…]  crash the coordinator at these virtual seconds; it
+                       restores the latest snapshot after the restart
+                       delay and counts the gap as replayed frames
+    --restart-delay-s S  outage length per crash     (default 0.5)
+    --poison P         per-dispatch probability that a tenant's pipeline
+                       step panics; the panic is caught and the tenant
+                       quarantined, then re-admitted through the ladder
+    --quarantine-s S   quarantine window             (default 5)
+    --degrade AT:CAP[:INFL]  at AT seconds scale pool capacity by CAP and
+                       service times by INFL (repeatable; admission is
+                       re-evaluated at each event)
+    --snapshot-every N checkpoint every N scheduling horizons (0 = off;
+                       defaults to 1 when --crash-at is given). Snapshots
+                       never change results.
 ";
 
 /// Prints the per-stage latency table and writes the three trace exports.
@@ -746,6 +909,7 @@ fn report_serve(report: &ServeReport) {
             AdmissionDecision::ShedRedundancy => "shed-redundancy".to_string(),
             AdmissionDecision::Degraded { keep_every } => format!("keep-1-in-{keep_every}"),
             AdmissionDecision::Rejected => "REJECTED".to_string(),
+            AdmissionDecision::Quarantined => "QUARANTINED".to_string(),
         };
         table.row(vec![
             t.tenant.to_string(),
@@ -771,6 +935,36 @@ fn report_serve(report: &ServeReport) {
         report.e2e_ms.p99,
         report.core_utilization * 100.0
     );
+    if report.recovery.any() {
+        let r = &report.recovery;
+        println!(
+            "recovery: {} restart(s) (mttr {:.1} ms, availability {:.2}%), \
+             {} replayed frames, {} quarantine(s), {} readmission(s), {} snapshot(s)",
+            r.restarts,
+            r.mttr_us() / 1e3,
+            report.availability * 100.0,
+            r.replayed_frames,
+            r.quarantines,
+            r.readmissions,
+            r.snapshots_taken
+        );
+        if r.restarts > 0 {
+            println!(
+                "post-recovery e2e p99: {:.1} ms",
+                report.post_recovery_e2e_ms.p99
+            );
+        }
+    }
+    if !report.transitions.is_empty() {
+        println!(
+            "admission transitions: {} (last at {:.1} s)",
+            report.transitions.len(),
+            report
+                .transitions
+                .last()
+                .map_or(0.0, |t| t.at_us as f64 / 1e6)
+        );
+    }
 }
 
 /// Writes one labeled Prometheus snapshot and one Chrome trace per tenant.
