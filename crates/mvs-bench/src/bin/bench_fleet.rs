@@ -23,6 +23,15 @@
 //! `T` is recorded alongside, informationally (it only beats serial on
 //! real multi-core hosts).
 //!
+//! A third, *pipelined* arm models `balb_sharded_pipelined`, which merges
+//! each shard's disjoint output columns as the shard completes instead of
+//! waiting for the whole wave: the merge leaves the serial residue and
+//! hides behind the shard-solve makespan, so the modeled time is
+//! `keying/T + max(makespan, merge) + (serial - merge)`. At one thread it
+//! solves inline and the model collapses to the sequential one. The
+//! 8-thread pipelined strong-scaling *efficiency* on the largest fleet is
+//! the second regression-gated headline.
+//!
 //! A short traced pipeline run on a small city fleet records how the
 //! per-stage time shares shift once the sharded path is on.
 //!
@@ -34,8 +43,9 @@
 
 use mvs_bench::{write_json, SEED};
 use mvs_core::{
-    balb_central, balb_sharded, balb_sharded_profiled, balb_sharded_threaded, BalbSchedule,
-    CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo, OverlapGraph, ShardPlan,
+    balb_central, balb_sharded, balb_sharded_pipelined, balb_sharded_profiled,
+    balb_sharded_threaded, BalbSchedule, CameraId, CameraInfo, MvsProblem, ObjectId, ObjectInfo,
+    OverlapGraph, ShardPlan,
 };
 use mvs_geometry::SizeClass;
 use mvs_metrics::TextTable;
@@ -63,6 +73,12 @@ const PROFILE_REPS: usize = 200;
 const INTENSITY: f64 = 10.0;
 /// Accept up to 15% regression of the headline speedup before failing.
 const CHECK_TOLERANCE: f64 = 1.15;
+/// Absolute floor on the 8-thread pipelined strong-scaling efficiency of
+/// the largest fleet, independent of the checked-in baseline: the whole
+/// point of overlapping the merge with the uplink leg is to keep the
+/// sharded solve usefully parallel, and below 70% the overlap is no
+/// longer earning its complexity.
+const PIPELINED_EFFICIENCY_FLOOR: f64 = 0.70;
 
 #[derive(Serialize, Deserialize)]
 struct ThreadRow {
@@ -81,6 +97,19 @@ struct ThreadRow {
     vs_central: f64,
     /// Actual wall-clock of `balb_sharded_threaded` on this host.
     measured_ms: f64,
+    /// Modeled pipelined solve at this thread count: the merge overlaps
+    /// the shard-solve makespan instead of serializing after it.
+    #[serde(default)]
+    pipelined_ms: f64,
+    /// pipelined_ms(1 thread) / pipelined_ms(T threads).
+    #[serde(default)]
+    pipelined_speedup: f64,
+    /// pipelined_speedup / threads.
+    #[serde(default)]
+    pipelined_efficiency: f64,
+    /// Actual wall-clock of `balb_sharded_pipelined` on this host.
+    #[serde(default)]
+    measured_pipelined_ms: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -95,6 +124,10 @@ struct FleetRow {
     /// The serial residue of the sharded solve: bucket scatter, merge, and
     /// the global priority sort.
     overhead_ms: f64,
+    /// The merge portion of the residue — what the pipelined solve hides
+    /// behind the shard-solve makespan.
+    #[serde(default)]
+    merge_ms: f64,
     threads: Vec<ThreadRow>,
 }
 
@@ -113,6 +146,10 @@ struct Report {
     /// headline.
     headline_fleet: usize,
     headline_speedup_8t: f64,
+    /// 8-thread pipelined strong-scaling efficiency on the largest fleet:
+    /// the second regression-gated headline.
+    #[serde(default)]
+    headline_pipelined_efficiency_8t: f64,
     fleets: Vec<FleetRow>,
     /// Per-stage time shares of a traced sharded pipeline run on a small
     /// city fleet.
@@ -204,6 +241,12 @@ fn bench_fleet(cameras: usize) -> FleetRow {
     assert_eq!(sharded.assignment, central.assignment);
     assert_eq!(sharded.priority, central.priority);
     assert_eq!(latency_bits(&sharded), latency_bits(&central));
+    // … and so must the pipelined merge, whose completion order is
+    // nondeterministic.
+    let pipelined = balb_sharded_pipelined(&problem, &plan, 3);
+    assert_eq!(pipelined.assignment, central.assignment);
+    assert_eq!(pipelined.priority, central.priority);
+    assert_eq!(latency_bits(&pipelined), latency_bits(&central));
 
     let central_ms = min_of_reps(|| time_ms(&mut || balb_central(&problem)));
     // Profile the actual sharded execution path on one thread: per-shard
@@ -226,6 +269,7 @@ fn bench_fleet(cameras: usize) -> FleetRow {
                     .map(|(a, b)| a.min(*b))
                     .collect(),
                 serial_ms: best.serial_ms.min(t.serial_ms),
+                merge_ms: best.merge_ms.min(t.merge_ms),
                 total_ms: best.total_ms.min(t.total_ms),
             },
         });
@@ -237,7 +281,21 @@ fn bench_fleet(cameras: usize) -> FleetRow {
     let model = |t: usize| {
         timings.keying_ms / t as f64 + lpt_makespan_ms(&timings.shard_ms, t) + timings.serial_ms
     };
+    // Pipelined: the merge overlaps the shard-solve makespan (disjoint
+    // output columns make the completion order irrelevant), leaving only
+    // the scatter and priority sort serial. One thread solves inline, so
+    // the model collapses to the sequential one there.
+    let model_pipelined = |t: usize| {
+        if t <= 1 {
+            return model(1);
+        }
+        let makespan = lpt_makespan_ms(&timings.shard_ms, t);
+        timings.keying_ms / t as f64
+            + makespan.max(timings.merge_ms)
+            + (timings.serial_ms - timings.merge_ms)
+    };
     let base_ms = model(1);
+    let pipelined_base_ms = model_pipelined(1);
     let threads = THREAD_SWEEP
         .iter()
         .map(|&t| {
@@ -245,6 +303,10 @@ fn bench_fleet(cameras: usize) -> FleetRow {
             let modeled_speedup = base_ms / modeled_ms;
             let measured_ms =
                 min_of_reps(|| time_ms(&mut || balb_sharded_threaded(&problem, &plan, t)));
+            let pipelined_ms = model_pipelined(t);
+            let pipelined_speedup = pipelined_base_ms / pipelined_ms;
+            let measured_pipelined_ms =
+                min_of_reps(|| time_ms(&mut || balb_sharded_pipelined(&problem, &plan, t)));
             ThreadRow {
                 threads: t,
                 modeled_ms,
@@ -252,6 +314,10 @@ fn bench_fleet(cameras: usize) -> FleetRow {
                 efficiency: modeled_speedup / t as f64,
                 vs_central: central_ms / modeled_ms,
                 measured_ms,
+                pipelined_ms,
+                pipelined_speedup,
+                pipelined_efficiency: pipelined_speedup / t as f64,
+                measured_pipelined_ms,
             }
         })
         .collect();
@@ -264,6 +330,7 @@ fn bench_fleet(cameras: usize) -> FleetRow {
         central_ms,
         sharded_serial_ms,
         overhead_ms,
+        merge_ms: timings.merge_ms,
         threads,
     }
 }
@@ -312,6 +379,23 @@ fn check_against(report: &Report, path: &str) -> Result<(), String> {
         "check ok: 8-thread speedup {:.2}x >= floor {:.2}x (baseline {:.2}x)",
         report.headline_speedup_8t, floor, baseline.headline_speedup_8t
     );
+    let pipelined_floor = (baseline.headline_pipelined_efficiency_8t / CHECK_TOLERANCE)
+        .max(PIPELINED_EFFICIENCY_FLOOR);
+    if report.headline_pipelined_efficiency_8t < pipelined_floor {
+        return Err(format!(
+            "8-thread pipelined efficiency regressed: {:.0}% < {:.0}% (baseline {:.0}% / {CHECK_TOLERANCE}, absolute floor {:.0}%)",
+            report.headline_pipelined_efficiency_8t * 100.0,
+            pipelined_floor * 100.0,
+            baseline.headline_pipelined_efficiency_8t * 100.0,
+            PIPELINED_EFFICIENCY_FLOOR * 100.0
+        ));
+    }
+    println!(
+        "check ok: 8-thread pipelined efficiency {:.0}% >= floor {:.0}% (baseline {:.0}%)",
+        report.headline_pipelined_efficiency_8t * 100.0,
+        pipelined_floor * 100.0,
+        baseline.headline_pipelined_efficiency_8t * 100.0
+    );
     Ok(())
 }
 
@@ -336,6 +420,7 @@ fn main() {
         "sharded 1T (ms)",
         "8T speedup",
         "8T efficiency",
+        "8T pipelined eff.",
         "8T vs central",
     ]);
     for &cameras in &FLEETS {
@@ -353,6 +438,7 @@ fn main() {
             format!("{:.3}", row.sharded_serial_ms),
             format!("{:.2}x", at8.modeled_speedup),
             format!("{:.0}%", at8.efficiency * 100.0),
+            format!("{:.0}%", at8.pipelined_efficiency * 100.0),
             format!("{:.2}x", at8.vs_central),
         ]);
         fleets.push(row);
@@ -360,17 +446,22 @@ fn main() {
 
     let headline = fleets.last().expect("at least one fleet");
     let headline_fleet = headline.cameras;
-    let headline_speedup_8t = headline
+    let headline_at8 = headline
         .threads
         .iter()
         .find(|t| t.threads == 8)
-        .expect("sweep includes 8 threads")
-        .modeled_speedup;
+        .expect("sweep includes 8 threads");
+    let headline_speedup_8t = headline_at8.modeled_speedup;
+    let headline_pipelined_efficiency_8t = headline_at8.pipelined_efficiency;
 
     println!("City-fleet sharded scheduling ({host_cpus} host CPUs)\n");
     println!("{table}");
     println!(
         "headline: {headline_speedup_8t:.2}x modeled speedup at 8 threads on {headline_fleet} cameras"
+    );
+    println!(
+        "headline: {:.0}% pipelined strong-scaling efficiency at 8 threads on {headline_fleet} cameras",
+        headline_pipelined_efficiency_8t * 100.0
     );
     if host_cpus < 8 {
         println!("(measured wall-clock columns are host-bound on {host_cpus} CPUs;");
@@ -382,6 +473,7 @@ fn main() {
         seed: SEED,
         headline_fleet,
         headline_speedup_8t,
+        headline_pipelined_efficiency_8t,
         fleets,
         stage_shares: stage_shares(),
     };

@@ -17,19 +17,35 @@
 //!   variants over per-camera scratch buffers and
 //!   [`BalbSolver::apply_delta`] repairing the previous schedule in place.
 //!
-//! A verification pass runs first and asserts the two arms produce
-//! bitwise-identical schedules and identical vision outputs on every frame;
-//! only then are the arms timed. With `--features bench-alloc` the bin
-//! installs a counting global allocator and also reports
-//! allocations-per-frame for each arm (without the feature the alloc
-//! fields are `null`).
+//! A second pair of arms isolates the data-oriented kernel rewrite: the
+//! same per-frame kernel battery — a displacement lookup per track,
+//! cluster×predicted pairwise IoU, new-region detection, and the
+//! per-camera batched latency model — runs once through the retained
+//! scalar references ([`ScalarFlowField`], [`find_new_regions_into`],
+//! [`SizeCounts`]) and once through the SoA kernels the hot path ships
+//! ([`FlowField`]/`FlowSoA`, [`BBoxSoA::iou_matrix_into`],
+//! [`NewRegionFinder`], [`SizeCountsBatch`]). Both arms query flow fields
+//! prebuilt outside the clock: field *construction* is RNG-bound detector
+//! simulation whose cost is identical in either layout (the gaussian draw
+//! order is pinned by the determinism contract), so timing it would only
+//! dilute the layout comparison toward 1x. The reported `soa_speedup` is
+//! the scalar/SoA frame-time ratio over the kernel battery.
+//!
+//! A verification pass runs first and asserts the arms produce
+//! bitwise-identical schedules and identical vision outputs on every frame
+//! (kernel arms: identical clusters, displacement bits, IoU matrices,
+//! fresh regions, and latency bits); only then are the arms timed. With
+//! `--features bench-alloc` the bin installs a counting global allocator
+//! and also reports allocations-per-frame for the cold/warm arms (without
+//! the feature the alloc fields are `null`).
 //!
 //! `--check <baseline.json>` re-reads a checked-in baseline report and
 //! exits nonzero if the steady-state win regressed: the cold/warm speedup
-//! ratio fell more than 15% below the baseline's, or (when both reports
-//! carry alloc counts) warm allocations-per-frame grew more than 15%.
-//! Comparing ratios rather than absolute times keeps the check portable
-//! across CI machines.
+//! ratio fell more than 15% below the baseline's, the SoA kernel speedup
+//! fell below its absolute 1.3x floor (or more than 15% below the
+//! baseline's), or (when both reports carry alloc counts) warm
+//! allocations-per-frame grew more than 15%. Comparing ratios rather than
+//! absolute times keeps the check portable across CI machines.
 //!
 //! Run with
 //! `cargo run --release -p mvs-bench --features bench-alloc --bin bench_hotpath`.
@@ -38,11 +54,12 @@ use mvs_bench::{write_json, SEED};
 use mvs_core::{
     balb_central, BalbSolver, CameraId, CameraInfo, MvsProblem, ObjectId, ProblemDelta,
 };
-use mvs_geometry::{BBox, FrameDims, SizeClass};
+use mvs_geometry::{BBox, BBoxSoA, FrameDims, Point2, SizeClass};
 use mvs_metrics::TextTable;
 use mvs_vision::{
     find_new_regions, find_new_regions_into, slice_regions, slice_regions_into, DeviceKind,
-    FlowField, GroundTruthObject, LatencyProfile, RegionTask, Track, TrackId,
+    FlowField, GroundTruthObject, LatencyProfile, NewRegionFinder, RegionTask, ScalarFlowField,
+    SizeCounts, SizeCountsBatch, Track, TrackId,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -102,8 +119,9 @@ const M: usize = 2;
 const BASE_OBJECTS: usize = 40;
 /// Full-coverage churn objects at the order tail (enter/move/leave).
 const CHURN_OBJECTS: usize = 8;
-/// Ground-truth objects each camera sees (vision-stage workload).
-const VIEW_OBJECTS: usize = 24;
+/// Ground-truth objects each camera sees (vision-stage workload; dense
+/// enough that the pairwise kernels dominate the vision stages).
+const VIEW_OBJECTS: usize = 64;
 /// Frames run before the timer starts (fills scratch high-water marks).
 const WARMUP_FRAMES: usize = 200;
 /// Frames in the measured steady-state window.
@@ -482,6 +500,245 @@ fn run_warm(w: &Workload) -> ArmResult {
     }
 }
 
+/// RNG seed for the kernel-arm flow fields (distinct from the cold/warm
+/// arms so the two batteries cannot mask each other's divergences).
+const KERNEL_SEED: u64 = SEED ^ 0x50a;
+
+/// Flow fields prebuilt for the kernel arms, `[frame][camera]`, in both
+/// layouts. Construction consumes the RNG identically for both (asserted
+/// at build time), so the timed arms are pure layout comparisons.
+struct KernelFields {
+    scalar: Vec<Vec<ScalarFlowField>>,
+    soa: Vec<Vec<FlowField>>,
+}
+
+impl KernelFields {
+    fn build(w: &Workload, frames: usize) -> KernelFields {
+        let mut scalar_rng = ChaCha8Rng::seed_from_u64(KERNEL_SEED);
+        let mut soa_rng = scalar_rng.clone();
+        let mut scalar = Vec::with_capacity(frames);
+        let mut soa = Vec::with_capacity(frames);
+        for f in 0..frames {
+            scalar.push(
+                (0..M)
+                    .map(|cam| {
+                        ScalarFlowField::estimate(
+                            w.prev_view(f, cam),
+                            &w.views[f][cam],
+                            NOISE_PX,
+                            &mut scalar_rng,
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            soa.push(
+                (0..M)
+                    .map(|cam| {
+                        FlowField::estimate(
+                            w.prev_view(f, cam),
+                            &w.views[f][cam],
+                            NOISE_PX,
+                            &mut soa_rng,
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(
+            scalar_rng.gen::<u64>(),
+            soa_rng.gen::<u64>(),
+            "field construction consumed the RNG differently"
+        );
+        KernelFields { scalar, soa }
+    }
+}
+
+/// Scratch for the scalar (AoS) kernel arm: the retained reference
+/// implementations with reusable buffers.
+#[derive(Default)]
+struct ScalarKernelScratch {
+    predicted: Vec<BBox>,
+    iou: Vec<f64>,
+    fresh: Vec<BBox>,
+    counts: SizeCounts,
+}
+
+/// Scratch for the SoA kernel arm: the column-major kernels the hot path
+/// ships.
+#[derive(Default)]
+struct SoaKernelScratch {
+    predicted: Vec<BBox>,
+    centers: Vec<Point2>,
+    best_area: Vec<f64>,
+    best: Vec<u32>,
+    displacements: Vec<Point2>,
+    cluster_cols: BBoxSoA,
+    predicted_cols: BBoxSoA,
+    iou: Vec<f64>,
+    finder: NewRegionFinder,
+    fresh: Vec<BBox>,
+    batch: SizeCountsBatch,
+}
+
+/// One frame of the scalar kernel battery: a displacement lookup per
+/// track, the cluster×predicted IoU matrix via [`BBox::iou`] pairs, AoS
+/// new-region detection, and the per-camera [`SizeCounts`] latency model.
+/// Every result is folded into `acc` bit by bit so the SoA arm can be
+/// checked for bitwise identity.
+fn scalar_kernel_frame(
+    w: &Workload,
+    fields: &KernelFields,
+    f: usize,
+    profiles: &[LatencyProfile],
+    s: &mut ScalarKernelScratch,
+    acc: &mut u64,
+) {
+    // Range loop kept deliberately: the constant `M` trip count is what
+    // lets the per-camera body unroll; iterator-chain variants cost ~10%
+    // on the timed kernels.
+    #[allow(clippy::needless_range_loop)]
+    for cam in 0..M {
+        let flow = &fields.scalar[f][cam];
+        let profile = &profiles[cam];
+        for t in &w.tracks[f][cam] {
+            let v = flow.displacement_at(t.bbox.center()).displacement;
+            *acc = acc.rotate_left(9) ^ v.x.to_bits() ^ v.y.to_bits().rotate_left(17);
+        }
+        s.predicted.clear();
+        s.predicted.extend(w.tracks[f][cam].iter().map(|t| t.bbox));
+        s.iou.clear();
+        for c in flow.moving_clusters() {
+            for p in &s.predicted {
+                s.iou.push(c.iou(p));
+            }
+        }
+        // Order-independent xor over the matrix, mixed into the running
+        // fold once: a reduction both arms compute identically that stays
+        // out of the kernels' way (it vectorizes).
+        let mut matrix_bits: u64 = 0;
+        for &v in &s.iou {
+            matrix_bits ^= v.to_bits();
+        }
+        *acc = acc.rotate_left(1) ^ matrix_bits;
+        find_new_regions_into(flow.moving_clusters(), &s.predicted, 0.5, &mut s.fresh);
+        *acc = acc.rotate_left(5) ^ s.fresh.len() as u64;
+        s.counts.clear();
+        for t in &w.tracks[f][cam] {
+            s.counts.add(t.size);
+        }
+        *acc = acc.rotate_left(11) ^ s.counts.latency_ms(profile).to_bits();
+    }
+}
+
+/// One frame of the SoA kernel battery: identical inputs, identical fold
+/// order, but through `FlowSoA`'s column scan,
+/// [`BBoxSoA::iou_matrix_into`], [`NewRegionFinder`], and one
+/// [`SizeCountsBatch`] covering every camera.
+fn soa_kernel_frame(
+    w: &Workload,
+    fields: &KernelFields,
+    f: usize,
+    profiles: &[LatencyProfile],
+    s: &mut SoaKernelScratch,
+    acc: &mut u64,
+) {
+    s.batch.reset(M);
+    // Same constant-trip-count range loop as the scalar arm (see there).
+    #[allow(clippy::needless_range_loop)]
+    for cam in 0..M {
+        let flow = &fields.soa[f][cam];
+        let profile = &profiles[cam];
+        // Batched track prediction: one column sweep answers every
+        // track's displacement query.
+        s.centers.clear();
+        s.centers
+            .extend(w.tracks[f][cam].iter().map(|t| t.bbox.center()));
+        flow.soa().displacements_at_into(
+            &s.centers,
+            &mut s.best_area,
+            &mut s.best,
+            &mut s.displacements,
+        );
+        for v in &s.displacements {
+            *acc = acc.rotate_left(9) ^ v.x.to_bits() ^ v.y.to_bits().rotate_left(17);
+        }
+        s.predicted.clear();
+        s.predicted.extend(w.tracks[f][cam].iter().map(|t| t.bbox));
+        s.cluster_cols.fill_from_boxes(flow.moving_clusters());
+        s.predicted_cols.fill_from_boxes(&s.predicted);
+        s.cluster_cols
+            .iou_matrix_into(&s.predicted_cols, &mut s.iou);
+        let mut matrix_bits: u64 = 0;
+        for &v in &s.iou {
+            matrix_bits ^= v.to_bits();
+        }
+        *acc = acc.rotate_left(1) ^ matrix_bits;
+        s.finder
+            .find_into(flow.moving_clusters(), &s.predicted, 0.5, &mut s.fresh);
+        *acc = acc.rotate_left(5) ^ s.fresh.len() as u64;
+        for t in &w.tracks[f][cam] {
+            s.batch.add(cam, t.size);
+        }
+        *acc = acc.rotate_left(11) ^ s.batch.latency_row_ms(cam, profile).to_bits();
+    }
+}
+
+/// Runs both kernel arms frame-by-frame and asserts bitwise-identical
+/// outputs before any timing happens. The per-frame structural asserts
+/// (clusters, IoU bits, fresh regions) cover the last camera's buffers;
+/// the checksum compare covers every camera, displacement, and latency.
+fn verify_kernels(w: &Workload, fields: &KernelFields, frames: usize, profiles: &[LatencyProfile]) {
+    let mut scalar = ScalarKernelScratch::default();
+    let mut soa = SoaKernelScratch::default();
+    for f in 0..frames {
+        for cam in 0..M {
+            assert_eq!(
+                fields.scalar[f][cam].moving_clusters(),
+                fields.soa[f][cam].moving_clusters(),
+                "frame {f} cam {cam}: moving clusters diverge"
+            );
+        }
+        let mut scalar_acc: u64 = 0;
+        let mut soa_acc: u64 = 0;
+        scalar_kernel_frame(w, fields, f, profiles, &mut scalar, &mut scalar_acc);
+        soa_kernel_frame(w, fields, f, profiles, &mut soa, &mut soa_acc);
+        let scalar_iou: Vec<u64> = scalar.iou.iter().map(|v| v.to_bits()).collect();
+        let soa_iou: Vec<u64> = soa.iou.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(scalar_iou, soa_iou, "frame {f}: IoU matrix bits diverge");
+        assert_eq!(scalar.fresh, soa.fresh, "frame {f}: fresh regions diverge");
+        assert_eq!(
+            scalar_acc, soa_acc,
+            "frame {f}: kernel checksums (displacement/latency bits) diverge"
+        );
+    }
+}
+
+/// Timed run of one kernel arm over the measured window (same
+/// warmup/measure/checksum protocol as the cold/warm arms).
+fn run_kernel_arm<S: Default>(
+    w: &Workload,
+    fields: &KernelFields,
+    profiles: &[LatencyProfile],
+    frame_fn: impl Fn(&Workload, &KernelFields, usize, &[LatencyProfile], &mut S, &mut u64),
+) -> ArmResult {
+    let mut scratch = S::default();
+    let mut acc: u64 = 0;
+    for f in 0..WARMUP_FRAMES {
+        frame_fn(w, fields, f, profiles, &mut scratch, &mut acc);
+    }
+    acc = 0;
+    let start = Instant::now();
+    for f in WARMUP_FRAMES..WARMUP_FRAMES + MEASURED_FRAMES {
+        frame_fn(w, fields, f, profiles, &mut scratch, &mut acc);
+    }
+    let elapsed = start.elapsed();
+    ArmResult {
+        ms_per_frame: elapsed.as_secs_f64() * 1e3 / MEASURED_FRAMES as f64,
+        allocs_per_frame: None,
+        checksum: acc,
+    }
+}
+
 #[derive(Serialize, Deserialize)]
 struct Report {
     cameras: usize,
@@ -500,12 +757,26 @@ struct Report {
     alloc_reduction: Option<f64>,
     warm_solves: u64,
     cold_solves: u64,
+    /// Steady-state per-frame time of the scalar (AoS) kernel battery.
+    #[serde(default)]
+    scalar_kernel_ms_per_frame: f64,
+    /// Same battery through the data-oriented (SoA) kernels.
+    #[serde(default)]
+    soa_kernel_ms_per_frame: f64,
+    /// Scalar kernel time over SoA kernel time (higher is better).
+    #[serde(default)]
+    soa_speedup: f64,
 }
 
 /// `--check` tolerance: fail when the speedup ratio falls more than this
 /// factor below the baseline's (a machine-portable "frame time regressed
 /// by >15%" signal), or warm allocations grow by more than it.
 const CHECK_TOLERANCE: f64 = 1.15;
+
+/// Absolute floor on the SoA kernel speedup: the data-oriented rewrite
+/// must stay at least this much faster than the scalar references on the
+/// check machine, independent of the baseline's ratio.
+const SOA_SPEEDUP_FLOOR: f64 = 1.3;
 
 fn check_against(report: &Report, baseline_path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
@@ -516,6 +787,18 @@ fn check_against(report: &Report, baseline_path: &str) -> Result<(), String> {
         return Err(format!(
             "steady-state regression: cold/warm speedup {:.2}x fell below baseline {:.2}x / {}",
             report.speedup, baseline.speedup, CHECK_TOLERANCE
+        ));
+    }
+    if report.soa_speedup < SOA_SPEEDUP_FLOOR {
+        return Err(format!(
+            "SoA kernel regression: speedup {:.2}x fell below the {SOA_SPEEDUP_FLOOR}x floor",
+            report.soa_speedup
+        ));
+    }
+    if baseline.soa_speedup > 0.0 && report.soa_speedup < baseline.soa_speedup / CHECK_TOLERANCE {
+        return Err(format!(
+            "SoA kernel regression: speedup {:.2}x fell below baseline {:.2}x / {}",
+            report.soa_speedup, baseline.soa_speedup, CHECK_TOLERANCE
         ));
     }
     if let (Some(now), Some(then)) = (report.warm_allocs_per_frame, baseline.warm_allocs_per_frame)
@@ -543,20 +826,39 @@ fn main() {
     let frames = WARMUP_FRAMES + MEASURED_FRAMES;
     eprintln!("generating workload ({frames} frames)...");
     let w = Workload::generate(frames);
+    let profiles = [
+        LatencyProfile::for_device(DeviceKind::Xavier),
+        LatencyProfile::for_device(DeviceKind::Nano),
+    ];
     eprintln!("verifying cold and warm arms agree bitwise...");
     verify(&w, frames);
+    eprintln!("prebuilding kernel-arm flow fields...");
+    let fields = KernelFields::build(&w, frames);
+    eprintln!("verifying scalar and SoA kernel arms agree bitwise...");
+    verify_kernels(&w, &fields, frames, &profiles);
     eprintln!("timing {REPS} interleaved repetitions per arm...");
     let mut cold = run_cold(&w);
     let mut warm = run_warm(&w);
+    let mut scalar =
+        run_kernel_arm::<ScalarKernelScratch>(&w, &fields, &profiles, scalar_kernel_frame);
+    let mut soa = run_kernel_arm::<SoaKernelScratch>(&w, &fields, &profiles, soa_kernel_frame);
     assert_eq!(
         cold.checksum, warm.checksum,
         "timed arms diverged after verification"
     );
+    assert_eq!(
+        scalar.checksum, soa.checksum,
+        "timed kernel arms diverged after verification"
+    );
     for _ in 1..REPS {
         let c = run_cold(&w);
         let h = run_warm(&w);
+        let sc = run_kernel_arm::<ScalarKernelScratch>(&w, &fields, &profiles, scalar_kernel_frame);
+        let so = run_kernel_arm::<SoaKernelScratch>(&w, &fields, &profiles, soa_kernel_frame);
         cold.ms_per_frame = cold.ms_per_frame.min(c.ms_per_frame);
         warm.ms_per_frame = warm.ms_per_frame.min(h.ms_per_frame);
+        scalar.ms_per_frame = scalar.ms_per_frame.min(sc.ms_per_frame);
+        soa.ms_per_frame = soa.ms_per_frame.min(so.ms_per_frame);
     }
 
     // Solver stats from a fresh warm run over the whole frame sequence
@@ -588,6 +890,9 @@ fn main() {
             .map(|(c, h)| 1.0 - h / c),
         warm_solves: stats.warm_solves,
         cold_solves: stats.cold_solves,
+        scalar_kernel_ms_per_frame: scalar.ms_per_frame,
+        soa_kernel_ms_per_frame: soa.ms_per_frame,
+        soa_speedup: scalar.ms_per_frame / soa.ms_per_frame,
     };
 
     let mut table = TextTable::new(vec!["metric", "cold", "warm"]);
@@ -610,6 +915,14 @@ fn main() {
     if let Some(r) = report.alloc_reduction {
         println!("alloc reduction: {:.1}%", r * 100.0);
     }
+    let mut kernels = TextTable::new(vec!["metric", "scalar", "soa"]);
+    kernels.row(vec![
+        "kernel ms/frame".to_string(),
+        format!("{:.4}", report.scalar_kernel_ms_per_frame),
+        format!("{:.4}", report.soa_kernel_ms_per_frame),
+    ]);
+    println!("{kernels}");
+    println!("soa kernel speedup: {:.2}x", report.soa_speedup);
 
     let path = write_json("BENCH_hotpath", &report);
     println!("wrote {}", path.display());

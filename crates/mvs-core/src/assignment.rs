@@ -1,7 +1,7 @@
 //! Object→camera assignments and the latency arithmetic of Definition 1.
 
 use crate::{CameraId, MvsProblem, ObjectId};
-use mvs_vision::SizeCounts;
+use mvs_vision::{SizeCounts, SizeCountsBatch};
 use serde::{Deserialize, Serialize};
 
 /// An assignment matrix `X` between cameras and objects (Definition 2),
@@ -174,11 +174,59 @@ impl Assignment {
         base + self.size_counts(problem, camera).latency_ms(profile)
     }
 
+    /// Per-camera latencies `L_i` for *every* camera at once, through the
+    /// batched size-count matrix: one object-major pass over the owner
+    /// lists fills `scratch`, then one flat pass over the matrix computes
+    /// each camera's latency. `out[i]` is bitwise identical to
+    /// [`camera_latency_ms`](Self::camera_latency_ms) for camera `i` —
+    /// the per-camera counts are the same multiset and the latency terms
+    /// are summed in the same size-class order — while avoiding the
+    /// scalar path's full owner-table scan per camera.
+    pub fn camera_latencies_batched_into(
+        &self,
+        problem: &MvsProblem,
+        include_full_frame: bool,
+        scratch: &mut SizeCountsBatch,
+        out: &mut Vec<f64>,
+    ) {
+        let m = problem.num_cameras();
+        scratch.reset(m);
+        for (j, owners) in self.owners.iter().enumerate() {
+            for &camera in owners {
+                let size = problem.objects()[j]
+                    .size_on(camera)
+                    .expect("owner camera must cover the object");
+                scratch.add(camera.0, size);
+            }
+        }
+        out.clear();
+        out.extend((0..m).map(|i| {
+            let profile = problem.profile(CameraId(i));
+            let base = if include_full_frame {
+                profile.full_frame_ms()
+            } else {
+                0.0
+            };
+            base + scratch.latency_row_ms(i, profile)
+        }));
+    }
+
     /// System latency `L = max_i L_i` over all cameras.
+    ///
+    /// Runs on the batched path
+    /// ([`camera_latencies_batched_into`](Self::camera_latencies_batched_into)),
+    /// folding the max in camera order — the exact value the per-camera
+    /// scalar loop produced.
     pub fn system_latency_ms(&self, problem: &MvsProblem, include_full_frame: bool) -> f64 {
-        (0..problem.num_cameras())
-            .map(|i| self.camera_latency_ms(problem, CameraId(i), include_full_frame))
-            .fold(0.0, f64::max)
+        let mut scratch = SizeCountsBatch::new();
+        let mut latencies = Vec::new();
+        self.camera_latencies_batched_into(
+            problem,
+            include_full_frame,
+            &mut scratch,
+            &mut latencies,
+        );
+        latencies.into_iter().fold(0.0, f64::max)
     }
 }
 

@@ -186,12 +186,36 @@ pub(crate) fn greedy_place(
 /// Sorts `priority` by increasing assigned latency, ties by camera id —
 /// the distributed-stage order of both the cold and warm solvers.
 pub(crate) fn sort_priority(priority: &mut [CameraId], latencies: &[f64]) {
-    priority.sort_by(|a, b| {
-        latencies[a.0]
-            .partial_cmp(&latencies[b.0])
-            .expect("latencies are finite")
-            .then(a.0.cmp(&b.0))
-    });
+    debug_assert!(
+        priority
+            .iter()
+            .all(|c| latencies[c.0].is_finite() && latencies[c.0] >= 0.0),
+        "latencies are finite and non-negative"
+    );
+    if priority.len() < 32 {
+        // Small fleets: the float comparator's branchy cost is noise and
+        // the stable sort stays allocation-free at this size.
+        priority.sort_by(|a, b| {
+            latencies[a.0]
+                .partial_cmp(&latencies[b.0])
+                .expect("latencies are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        return;
+    }
+    // City fleets: non-negative finite doubles order identically by IEEE
+    // bit pattern, and the camera id in the low bits makes every key
+    // unique, so one unstable integer sort reproduces the (latency, id)
+    // lexicographic order of the float comparator exactly — this is the
+    // serial tail of the sharded key-frame solve, so its constant matters.
+    let mut keys: Vec<u128> = priority
+        .iter()
+        .map(|c| ((latencies[c.0].to_bits() as u128) << 64) | c.0 as u128)
+        .collect();
+    keys.sort_unstable();
+    for (slot, key) in priority.iter_mut().zip(&keys) {
+        *slot = CameraId(*key as u64 as usize);
+    }
 }
 
 /// Traced variant of [`balb_central`]: additionally records a

@@ -67,6 +67,6 @@ pub use problem::{
     CameraInfo, CameraSubset, MvsProblem, ObjectInfo, ProblemConfig, ProblemDelta, ProblemError,
 };
 pub use shard::{
-    balb_sharded, balb_sharded_profiled, balb_sharded_threaded, OverlapGraph, ShardPlan,
-    ShardTimings, ShardedBalbSolver, ShardedSolveStats,
+    balb_sharded, balb_sharded_pipelined, balb_sharded_profiled, balb_sharded_threaded,
+    OverlapGraph, ShardPlan, ShardTimings, ShardedBalbSolver, ShardedSolveStats,
 };

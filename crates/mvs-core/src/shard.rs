@@ -356,17 +356,18 @@ pub fn balb_sharded_threaded(
 /// Zero-copy sharded solve for exact (whole-component) plans: no
 /// sub-instance is materialized. On an exact plan every object's coverage
 /// set lies inside one shard, so objects are tagged with their shard and
-/// packed scheduling key (parallel over object chunks), the keys are
-/// scattered into per-shard buckets (O(N) serial, integers only), each
-/// shard sorts its bucket and replays the greedy pass *against the
-/// original instance* — each worker only ever touches its own shard's
-/// entries of a private full-width latency/counts scratch — and the merge
-/// copies back exactly the shard-owned latency entries. Per-bucket sorted
-/// order is the restriction of the global scheduling order (packed keys
-/// are unique and comparisons don't cross buckets), so this performs the
-/// exact sequence of [`greedy_place`] calls of [`balb_central`] per
-/// component and stays bitwise identical at any thread count. The serial
-/// residue is the O(N) integer scatter plus the O(M log M + N) merge.
+/// packed scheduling key and scattered into per-shard buckets (parallel
+/// over object chunks, each worker filling private buckets), each shard
+/// sorts its bucket and replays the greedy pass *against the original
+/// instance* — each worker only ever touches its own shard's entries of a
+/// private full-width latency/counts scratch — and the merge copies back
+/// exactly the shard-owned latency entries. Per-bucket sorted order is
+/// the restriction of the global scheduling order (packed keys are unique
+/// and comparisons don't cross buckets), so this performs the exact
+/// sequence of [`greedy_place`] calls of [`balb_central`] per component
+/// and stays bitwise identical at any thread count. The serial residue is
+/// the per-shard bucket concatenation (integer memcpys) plus the
+/// O(M log M + N) merge.
 fn balb_sharded_exact(problem: &MvsProblem, plan: &ShardPlan, threads: usize) -> BalbSchedule {
     balb_sharded_exact_timed(problem, plan, threads).0
 }
@@ -376,15 +377,20 @@ fn balb_sharded_exact(problem: &MvsProblem, plan: &ShardPlan, threads: usize) ->
 /// scaling from the timings of the *actual* execution path.
 #[derive(Debug, Clone)]
 pub struct ShardTimings {
-    /// Time spent computing per-object (shard, scheduling-key) tags —
-    /// embarrassingly parallel over objects.
+    /// Time spent computing per-object (shard, scheduling-key) tags and
+    /// scattering them into buckets — embarrassingly parallel over object
+    /// chunks (each worker fills private buckets).
     pub keying_ms: f64,
     /// Per-shard solve time (bucket sort + greedy replay + scratch init),
     /// one entry per shard in plan order — parallel across shards.
     pub shard_ms: Vec<f64>,
-    /// Serial residue: bucket scatter, latency/owner merge, and the global
-    /// priority sort.
+    /// Serial residue: bucket concatenation, latency/owner merge, and the
+    /// global priority sort.
     pub serial_ms: f64,
+    /// The latency/owner merge portion of `serial_ms` — the part the
+    /// pipelined solve ([`balb_sharded_pipelined`]) overlaps with the
+    /// still-running shard solves instead of paying after the join.
+    pub merge_ms: f64,
     /// End-to-end wall clock of the solve.
     pub total_ms: f64,
 }
@@ -405,25 +411,142 @@ pub fn balb_sharded_profiled(
         "profiled sharded solves require an exact (whole-component) plan"
     );
     let started = std::time::Instant::now();
-    let (schedule, keying_ms, shard_ms) = balb_sharded_exact_timed(problem, plan, 1);
+    let (schedule, keying_ms, shard_ms, solves_ms, merge_ms) =
+        balb_sharded_exact_timed(problem, plan, 1);
     let total_ms = started.elapsed().as_secs_f64() * 1e3;
-    let serial_ms = (total_ms - keying_ms - shard_ms.iter().sum::<f64>()).max(0.0);
+    // Subtract the whole solve *window* rather than the per-shard sum, so
+    // the per-shard timer overhead (which the untimed production path does
+    // not pay between shards) is not misattributed to the serial residue.
+    let serial_ms = (total_ms - keying_ms - solves_ms).max(0.0);
     (
         schedule,
         ShardTimings {
             keying_ms,
             shard_ms,
             serial_ms,
+            merge_ms: merge_ms.min(serial_ms),
             total_ms,
         },
     )
+}
+
+/// Tags every object with its (shard, packed scheduling key) pair and
+/// scatters the keys into per-shard buckets, parallel over object chunks:
+/// each worker fills its own private bucket set, and the serial residue is
+/// one per-shard `append` concatenation (a memcpy of integers). Bucket
+/// element order is irrelevant — every bucket is sorted in
+/// [`solve_bucket`] and packed keys are unique — so chunked scattering is
+/// bitwise equivalent to the serial pass. Returns the buckets and the
+/// wall-clock of the parallelizable tag+scatter portion. The key
+/// derivation walks the object's crop-size map, so at city scale this
+/// pass costs as much as the greedy itself and must not stay serial.
+fn tag_and_bucket(problem: &MvsProblem, plan: &ShardPlan, threads: usize) -> (Vec<Vec<u64>>, f64) {
+    let n = problem.num_objects();
+    let num_shards = plan.num_shards();
+    let keying_start = std::time::Instant::now();
+    let tag = |j: usize, object: &ObjectInfo| {
+        let camera = object
+            .coverage()
+            .next()
+            .expect("coverage sets are non-empty by problem validation");
+        (plan.shard_of(camera) as u32, order_key(object, j))
+    };
+    let workers = threads.clamp(1, n.max(1));
+    if workers == 1 {
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+        for (j, object) in problem.objects().iter().enumerate() {
+            let (shard, key) = tag(j, object);
+            buckets[shard as usize].push(key);
+        }
+        let keying_ms = keying_start.elapsed().as_secs_f64() * 1e3;
+        return (buckets, keying_ms);
+    }
+    let chunk_len = n.div_ceil(workers);
+    let locals: Vec<Vec<Vec<u64>>> = std::thread::scope(|scope| {
+        // Spawn every chunk worker before joining any: a lazy
+        // spawn-then-join iterator chain would run the chunks serially.
+        let mut handles = Vec::with_capacity(n.div_ceil(chunk_len));
+        for c in 0..n.div_ceil(chunk_len) {
+            let tag = &tag;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+                for j in c * chunk_len..((c + 1) * chunk_len).min(n) {
+                    let (shard, key) = tag(j, &problem.objects()[j]);
+                    local[shard as usize].push(key);
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tagging thread panicked"))
+            .collect()
+    });
+    let keying_ms = keying_start.elapsed().as_secs_f64() * 1e3;
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+    for local in locals {
+        for (shard, mut keys) in local.into_iter().enumerate() {
+            if buckets[shard].is_empty() {
+                buckets[shard] = keys;
+            } else {
+                buckets[shard].append(&mut keys);
+            }
+        }
+    }
+    (buckets, keying_ms)
+}
+
+/// One shard's solved output: the worker's full-width latency columns,
+/// the owner lists it allocated, and the shard's wall-clock in ms.
+type ShardSolution = (Vec<f64>, Vec<(ObjectId, Vec<CameraId>)>, f64);
+
+/// Solves one shard's bucket against the original instance: sorts the
+/// bucket's packed keys (the restriction of the global scheduling order)
+/// and replays [`greedy_place`] into a private full-width latency/counts
+/// scratch. Owner lists are allocated here, in the worker, so the merge
+/// moves them into place without touching the heap. Returns the local
+/// latencies, the owner lists, and the shard's wall-clock.
+fn solve_bucket(problem: &MvsProblem, full_frame: &[f64], bucket: &[u64]) -> ShardSolution {
+    let shard_start = std::time::Instant::now();
+    let mut keys = bucket.to_vec();
+    keys.sort_unstable();
+    let mut latencies = full_frame.to_vec();
+    let mut counts = vec![SizeCounts::new(); full_frame.len()];
+    let mut owners: Vec<(ObjectId, Vec<CameraId>)> = Vec::with_capacity(keys.len());
+    for &key in &keys {
+        let j = order_key_index(key);
+        let object = &problem.objects()[j];
+        let camera = greedy_place(problem, object, &mut latencies, &mut counts);
+        owners.push((object.id, vec![camera]));
+    }
+    let ms = shard_start.elapsed().as_secs_f64() * 1e3;
+    (latencies, owners, ms)
+}
+
+/// Folds one shard's output into the deployment-wide state. Exact plans
+/// partition cameras and objects across shards, so every call writes a
+/// disjoint set of latency entries and owner lists — the merged state is
+/// independent of the order shards are folded in.
+fn merge_shard_output(
+    shard: &[CameraId],
+    local: &[f64],
+    owners: Vec<(ObjectId, Vec<CameraId>)>,
+    latencies: &mut [f64],
+    owner_lists: &mut [Vec<CameraId>],
+) {
+    for &camera in shard {
+        latencies[camera.0] = local[camera.0];
+    }
+    for (object, list) in owners {
+        owner_lists[object.0] = list;
+    }
 }
 
 fn balb_sharded_exact_timed(
     problem: &MvsProblem,
     plan: &ShardPlan,
     threads: usize,
-) -> (BalbSchedule, f64, Vec<f64>) {
+) -> (BalbSchedule, f64, Vec<f64>, f64, f64) {
     assert_eq!(
         plan.shard_of.len(),
         problem.num_cameras(),
@@ -436,82 +559,23 @@ fn balb_sharded_exact_timed(
         .map(|i| problem.profile(CameraId(i)).full_frame_ms())
         .collect();
 
-    // Tag every object with (shard, packed key) — parallel over chunks.
-    // The key derivation walks the object's crop-size map, so at city
-    // scale this pass costs as much as the greedy itself and must not
-    // stay serial.
-    let keying_start = std::time::Instant::now();
-    let mut tagged: Vec<(u32, u64)> = vec![(0, 0); n];
-    let tag = |j: usize, object: &ObjectInfo| {
-        let camera = object
-            .coverage()
-            .next()
-            .expect("coverage sets are non-empty by problem validation");
-        (plan.shard_of(camera) as u32, order_key(object, j))
-    };
-    let workers = threads.clamp(1, n.max(1));
-    if workers == 1 {
-        for (j, slot) in tagged.iter_mut().enumerate() {
-            *slot = tag(j, &problem.objects()[j]);
-        }
-    } else {
-        let chunk_len = n.div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (c, chunk) in tagged.chunks_mut(chunk_len).enumerate() {
-                let tag = &tag;
-                scope.spawn(move || {
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        let j = c * chunk_len + off;
-                        *slot = tag(j, &problem.objects()[j]);
-                    }
-                });
-            }
-        });
-    }
-    let keying_ms = keying_start.elapsed().as_secs_f64() * 1e3;
+    let (buckets, keying_ms) = tag_and_bucket(problem, plan, threads);
 
-    // Serial integer scatter into per-shard key buckets (pre-sized so the
-    // pushes never reallocate).
-    let mut bucket_len = vec![0usize; plan.num_shards()];
-    for &(shard, _) in &tagged {
-        bucket_len[shard as usize] += 1;
-    }
-    let mut buckets: Vec<Vec<u64>> = bucket_len.iter().map(|&c| Vec::with_capacity(c)).collect();
-    for &(shard, key) in &tagged {
-        buckets[shard as usize].push(key);
-    }
-
+    let solves_start = std::time::Instant::now();
     let outcomes = par_map_items(&buckets, threads, |bucket| {
-        let shard_start = std::time::Instant::now();
-        let mut keys = bucket.clone();
-        keys.sort_unstable();
-        let mut latencies = full_frame.clone();
-        let mut counts = vec![SizeCounts::new(); m];
-        // Owner lists are allocated here, in the worker, so the serial
-        // merge below moves them into place without touching the heap.
-        let mut owners: Vec<(ObjectId, Vec<CameraId>)> = Vec::with_capacity(keys.len());
-        for &key in &keys {
-            let j = order_key_index(key);
-            let object = &problem.objects()[j];
-            let camera = greedy_place(problem, object, &mut latencies, &mut counts);
-            owners.push((object.id, vec![camera]));
-        }
-        let ms = shard_start.elapsed().as_secs_f64() * 1e3;
-        (latencies, owners, ms)
+        solve_bucket(problem, &full_frame, bucket)
     });
+    let solves_ms = solves_start.elapsed().as_secs_f64() * 1e3;
 
+    let merge_start = std::time::Instant::now();
     let mut owner_lists: Vec<Vec<CameraId>> = vec![Vec::new(); n];
     let mut latencies = full_frame;
     let mut shard_ms = Vec::with_capacity(outcomes.len());
     for (shard, (local, owners, ms)) in plan.shards().iter().zip(outcomes) {
-        for &camera in shard {
-            latencies[camera.0] = local[camera.0];
-        }
-        for (object, list) in owners {
-            owner_lists[object.0] = list;
-        }
+        merge_shard_output(shard, &local, owners, &mut latencies, &mut owner_lists);
         shard_ms.push(ms);
     }
+    let merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
     let assignment = Assignment::from_owner_lists(owner_lists);
     let mut priority: Vec<CameraId> = (0..m).map(CameraId).collect();
     sort_priority(&mut priority, &latencies);
@@ -520,7 +584,96 @@ fn balb_sharded_exact_timed(
         camera_latencies_ms: latencies,
         priority,
     };
-    (schedule, keying_ms, shard_ms)
+    (schedule, keying_ms, shard_ms, solves_ms, merge_ms)
+}
+
+/// Pipelined exact sharded solve: identical shard computations to
+/// [`balb_sharded_threaded`], but the deployment-wide merge runs on the
+/// calling thread *as shards complete* (over an mpsc channel) instead of
+/// after the join, hiding the merge behind the still-running shard solves.
+///
+/// Exact plans partition cameras and objects across shards, so each
+/// shard's fold writes a disjoint set of latency entries and owner lists —
+/// the merged state, and therefore the schedule, is **bitwise identical**
+/// to [`balb_sharded`] and [`balb_central`] regardless of shard completion
+/// order or thread count (the differential suite locks this down).
+///
+/// # Panics
+///
+/// Panics if the plan is not exact ([`ShardPlan::is_exact`]) or was built
+/// for a different fleet size.
+pub fn balb_sharded_pipelined(
+    problem: &MvsProblem,
+    plan: &ShardPlan,
+    threads: usize,
+) -> BalbSchedule {
+    assert!(
+        plan.is_exact(),
+        "pipelined sharded solves require an exact (whole-component) plan"
+    );
+    assert_eq!(
+        plan.shard_of.len(),
+        problem.num_cameras(),
+        "shard plan was built for a different fleet"
+    );
+    let m = problem.num_cameras();
+    let n = problem.num_objects();
+    let full_frame: Vec<f64> = (0..m)
+        .map(|i| problem.profile(CameraId(i)).full_frame_ms())
+        .collect();
+
+    let (buckets, _keying_ms) = tag_and_bucket(problem, plan, threads);
+
+    let mut owner_lists: Vec<Vec<CameraId>> = vec![Vec::new(); n];
+    let mut latencies = full_frame.clone();
+    let num_shards = buckets.len();
+    let workers = threads.clamp(1, num_shards.max(1));
+    if workers == 1 {
+        // Single-threaded: solve and fold shard-by-shard — the same fold
+        // sequence the channel path performs, without the spawns.
+        for (shard, bucket) in plan.shards().iter().zip(&buckets) {
+            let (local, owners, _ms) = solve_bucket(problem, &full_frame, bucket);
+            merge_shard_output(shard, &local, owners, &mut latencies, &mut owner_lists);
+        }
+    } else {
+        let chunk_len = num_shards.div_ceil(workers);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let full_frame = &full_frame;
+        std::thread::scope(|scope| {
+            for (c, chunk) in buckets.chunks(chunk_len).enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for (off, bucket) in chunk.iter().enumerate() {
+                        let out = solve_bucket(problem, full_frame, bucket);
+                        // The receiver outlives the scope, so this only
+                        // fails if the main thread panicked first.
+                        let _ = tx.send((c * chunk_len + off, out));
+                    }
+                });
+            }
+            drop(tx);
+            // Fold shard outputs in completion order; disjoint writes make
+            // the order irrelevant (see merge_shard_output).
+            while let Ok((shard_idx, (local, owners, _ms))) = rx.recv() {
+                merge_shard_output(
+                    &plan.shards()[shard_idx],
+                    &local,
+                    owners,
+                    &mut latencies,
+                    &mut owner_lists,
+                );
+            }
+        });
+    }
+
+    let assignment = Assignment::from_owner_lists(owner_lists);
+    let mut priority: Vec<CameraId> = (0..m).map(CameraId).collect();
+    sort_priority(&mut priority, &latencies);
+    BalbSchedule {
+        assignment,
+        camera_latencies_ms: latencies,
+        priority,
+    }
 }
 
 /// Warm-started sharded solver: one persistent [`BalbSolver`] per shard, so
@@ -931,6 +1084,50 @@ mod tests {
                 s.camera_latencies_ms.iter().map(|l| l.to_bits()).collect()
             };
             assert_eq!(bits(&sharded), bits(&central), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_merge_equals_central_bitwise_at_any_thread_count() {
+        // The completion-order fold must reproduce the in-order merge
+        // exactly — disjoint writes make the two indistinguishable.
+        let p = island_problem();
+        let plan = ShardPlan::from_components(&OverlapGraph::from_problem(&p));
+        let central = balb_central(&p);
+        for threads in [1, 2, 4, 8] {
+            let pipelined = balb_sharded_pipelined(&p, &plan, threads);
+            assert_eq!(
+                pipelined.assignment, central.assignment,
+                "threads={threads}"
+            );
+            assert_eq!(pipelined.priority, central.priority, "threads={threads}");
+            let bits = |s: &BalbSchedule| -> Vec<u64> {
+                s.camera_latencies_ms.iter().map(|l| l.to_bits()).collect()
+            };
+            assert_eq!(bits(&pipelined), bits(&central), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_merge_matches_sharded_on_random_island_fleets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for case in 0..10 {
+            let p = MvsProblem::random(
+                &mut rng,
+                12,
+                80,
+                &ProblemConfig {
+                    overlap_prob: 0.0, // coverage-1 objects: many components
+                    ..Default::default()
+                },
+            );
+            let plan = ShardPlan::from_components(&OverlapGraph::from_problem(&p));
+            assert!(plan.is_exact());
+            let reference = balb_sharded_threaded(&p, &plan, 4);
+            for threads in [1, 3, 8] {
+                let pipelined = balb_sharded_pipelined(&p, &plan, threads);
+                assert_eq!(pipelined, reference, "case {case} threads={threads}");
+            }
         }
     }
 

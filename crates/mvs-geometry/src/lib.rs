@@ -39,6 +39,7 @@ mod grid;
 mod point;
 mod polygon;
 mod size;
+mod soa;
 mod transform;
 
 pub use bbox::{BBox, BBoxError};
@@ -47,4 +48,5 @@ pub use grid::{CellIndex, Grid};
 pub use point::Point2;
 pub use polygon::{Polygon, PolygonError};
 pub use size::SizeClass;
+pub use soa::BBoxSoA;
 pub use transform::Projective2;

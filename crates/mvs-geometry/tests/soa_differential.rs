@@ -1,0 +1,151 @@
+//! Differential proptests: every [`BBoxSoA`] kernel bitwise-equal to the
+//! scalar [`BBox`] methods it replaces.
+//!
+//! The SoA hot path is only allowed to change *layout*, never arithmetic:
+//! each kernel must evaluate the same floating-point expression, in the
+//! same order, as the AoS method, so results agree under `f64::to_bits`
+//! (not approximate comparison). Scenes include degenerate (zero-area)
+//! boxes and empty batches on both sides of every kernel.
+
+use mvs_geometry::{BBox, BBoxSoA, Point2};
+use proptest::prelude::*;
+
+/// Boxes with a degenerate (zero width and/or height) minority, since the
+/// coverage and IoU kernels special-case zero areas.
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (
+        -500.0f64..1500.0,
+        -500.0f64..1500.0,
+        0.0f64..300.0,
+        0.0f64..300.0,
+        0u32..8,
+    )
+        .prop_map(|(x, y, w, h, degenerate)| {
+            let (w, h) = match degenerate {
+                0 => (0.0, h),
+                1 => (w, 0.0),
+                2 => (0.0, 0.0),
+                _ => (w, h),
+            };
+            BBox::new(x, y, x + w, y + h).expect("constructed valid")
+        })
+}
+
+fn arb_boxes() -> impl Strategy<Value = Vec<BBox>> {
+    prop::collection::vec(arb_bbox(), 0..24)
+}
+
+fn arb_point() -> impl Strategy<Value = Point2> {
+    (-600.0f64..1900.0, -600.0f64..1900.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn accessors_match_bbox_bitwise(boxes in arb_boxes(), p in arb_point(), probe in arb_bbox()) {
+        let soa = BBoxSoA::from_boxes(&boxes);
+        prop_assert_eq!(soa.len(), boxes.len());
+        prop_assert_eq!(soa.is_empty(), boxes.is_empty());
+        for (i, b) in boxes.iter().enumerate() {
+            prop_assert_eq!(soa.get(i), *b);
+            prop_assert_eq!(soa.area(i).to_bits(), b.area().to_bits());
+            let (sc, bc) = (soa.center(i), b.center());
+            prop_assert_eq!(sc.x.to_bits(), bc.x.to_bits());
+            prop_assert_eq!(sc.y.to_bits(), bc.y.to_bits());
+            prop_assert_eq!(soa.contains_point(i, p), b.contains_point(p));
+            prop_assert_eq!(
+                soa.intersection_area(i, &probe).to_bits(),
+                b.intersection_area(&probe).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn iou_matrix_matches_nested_scalar_bitwise(a in arb_boxes(), b in arb_boxes()) {
+        let (sa, sb) = (BBoxSoA::from_boxes(&a), BBoxSoA::from_boxes(&b));
+        let mut matrix = Vec::new();
+        sa.iou_matrix_into(&sb, &mut matrix);
+        prop_assert_eq!(matrix.len(), a.len() * b.len());
+        for (i, ba) in a.iter().enumerate() {
+            for (j, bb) in b.iter().enumerate() {
+                prop_assert_eq!(
+                    matrix[i * b.len() + j].to_bits(),
+                    ba.iou(bb).to_bits(),
+                    "IoU({i},{j}) diverged"
+                );
+            }
+        }
+        // Scratch reuse: the transposed query through the same buffer must
+        // be just as exact.
+        sb.iou_matrix_into(&sa, &mut matrix);
+        prop_assert_eq!(matrix.len(), a.len() * b.len());
+        for (j, bb) in b.iter().enumerate() {
+            for (i, ba) in a.iter().enumerate() {
+                prop_assert_eq!(matrix[j * a.len() + i].to_bits(), bb.iou(ba).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_kernels_match_scalar_any(
+        boxes in arb_boxes(),
+        covers in arb_boxes(),
+        threshold in 0.0f64..1.0,
+    ) {
+        let soa = BBoxSoA::from_boxes(&boxes);
+        let cover_cols = BBoxSoA::from_boxes(&covers);
+        let mut mask = Vec::new();
+        soa.covered_mask_into(&cover_cols, threshold, &mut mask);
+        prop_assert_eq!(mask.len(), boxes.len());
+        for (i, b) in boxes.iter().enumerate() {
+            let scalar = covers.iter().any(|p| b.coverage_by(p) >= threshold);
+            prop_assert_eq!(mask[i], scalar, "mask[{i}] diverged");
+            prop_assert_eq!(cover_cols.covers_box(b, threshold), scalar);
+        }
+    }
+
+    #[test]
+    fn smallest_containing_matches_scalar_scan(boxes in arb_boxes(), p in arb_point()) {
+        let soa = BBoxSoA::from_boxes(&boxes);
+        // The scalar selection rule: smallest containing area wins, ties
+        // break to the earliest index (strict `<` over an in-order scan).
+        let mut scalar: Option<(usize, f64)> = None;
+        for (i, b) in boxes.iter().enumerate() {
+            if b.contains_point(p) {
+                let area = b.area();
+                if scalar.is_none_or(|(_, a)| area < a) {
+                    scalar = Some((i, area));
+                }
+            }
+        }
+        prop_assert_eq!(soa.smallest_containing(p), scalar.map(|(i, _)| i));
+        // Box centres of non-degenerate boxes always resolve to some box.
+        for (i, b) in boxes.iter().enumerate() {
+            if b.area() > 0.0 {
+                prop_assert!(soa.smallest_containing(b.center()).is_some(), "centre of box {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_round_trips_after_reuse(a in arb_boxes(), b in arb_boxes(), extra in arb_bbox()) {
+        // Warm-buffer refills and incremental pushes must leave exactly the
+        // columns a fresh build would produce.
+        let mut soa = BBoxSoA::from_boxes(&a);
+        soa.fill_from_boxes(&b);
+        soa.push(extra);
+        let mut expect = b.clone();
+        expect.push(extra);
+        prop_assert_eq!(soa.len(), expect.len());
+        let fresh = BBoxSoA::from_boxes(&expect);
+        prop_assert_eq!(&soa, &fresh);
+        let (x1, y1, x2, y2) = soa.columns();
+        for (i, e) in expect.iter().enumerate() {
+            prop_assert_eq!(x1[i].to_bits(), e.x1().to_bits());
+            prop_assert_eq!(y1[i].to_bits(), e.y1().to_bits());
+            prop_assert_eq!(x2[i].to_bits(), e.x2().to_bits());
+            prop_assert_eq!(y2[i].to_bits(), e.y2().to_bits());
+        }
+        soa.clear();
+        prop_assert!(soa.is_empty());
+    }
+}

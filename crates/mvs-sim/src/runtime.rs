@@ -29,8 +29,9 @@ use crate::scenario::Scenario;
 use crate::worker::{par_map, resolve_threads, CameraWorker, FrameScratch};
 use crate::world::World;
 use mvs_core::{
-    balb_sharded_threaded, scan_takeovers_into, BalbSolver, CameraId, CameraInfo, MvsProblem,
-    ObjectId, ObjectInfo, OverlapGraph, ShadowTrack, ShadowVerdict, ShardPlan, ShardedBalbSolver,
+    balb_sharded_pipelined, balb_sharded_threaded, scan_takeovers_into, BalbSolver, CameraId,
+    CameraInfo, MvsProblem, ObjectId, ObjectInfo, OverlapGraph, ShadowTrack, ShadowVerdict,
+    ShardPlan, ShardedBalbSolver,
 };
 use mvs_geometry::{BBox, SizeClass};
 use mvs_metrics::{
@@ -38,8 +39,8 @@ use mvs_metrics::{
 };
 use mvs_trace::{span_into, Stage, Trace, TraceRecorder};
 use mvs_vision::{
-    find_new_regions_into, slice_regions_traced_into, Detection, DetectionModel, FlowTracker,
-    GroundTruthObject, LatencyProfile, RegionTask, SimulatedDetector, SizeCounts, TrackerConfig,
+    slice_regions_traced_into, Detection, DetectionModel, FlowTracker, GroundTruthObject,
+    LatencyProfile, RegionTask, SimulatedDetector, SizeCounts, TrackerConfig,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -198,6 +199,16 @@ pub struct PipelineConfig {
     /// `mvs_core::balb_sharded`). Degraded or redundant horizons fall back
     /// to the existing cold paths. Default false.
     pub shard_solver: bool,
+    /// When true and `threads > 1`, key frames overlap the central BALB
+    /// solve with the (solve-independent) uplink-leg message encoding on a
+    /// scoped thread, and the sharded cold solve merges shards as they
+    /// complete instead of in plan order. The overlap hides the solve
+    /// behind a sync leg the pipeline already models, so it is
+    /// semantically a no-op: results and traces are bitwise identical to
+    /// the sequential path at any thread count (with one thread the solve
+    /// simply runs inline first). Default false.
+    #[serde(default)]
+    pub pipelined: bool,
 }
 
 impl PipelineConfig {
@@ -226,6 +237,7 @@ impl PipelineConfig {
             faults: FaultModel::none(),
             warm_start: true,
             shard_solver: false,
+            pipelined: false,
         }
     }
 }
@@ -730,6 +742,49 @@ impl Pipeline {
         (latency, detected, vec![OverheadSample::default(); m])
     }
 
+    /// The key-frame uplink leg: the slowest camera's upload round trip
+    /// as typed wire messages over one reused record buffer. `Some(k)` in
+    /// `up` means the upload was delivered after `k` lost attempts; `None`
+    /// means the camera never got through and the scheduler waits out the
+    /// whole retry schedule. The leg depends only on what the cameras
+    /// uploaded and the fault/network models — never on the solve — which
+    /// is what lets the pipelined key frame encode it while the central
+    /// solve runs on its own thread.
+    fn uplink_phase_ms(
+        all_dets: &[Vec<Detection>],
+        up: &[Option<u32>],
+        model: &FaultModel,
+        network: &NetworkModel,
+        records: &mut Vec<ObjectRecord>,
+    ) -> f64 {
+        let mut uplink_phase: f64 = 0.0;
+        for (cam, dets) in all_dets.iter().enumerate() {
+            let leg = match up[cam] {
+                Some(lost) => {
+                    records.clear();
+                    records.extend(dets.iter().enumerate().map(|(d, det)| ObjectRecord {
+                        detection: d as u32,
+                        bbox: det.bbox,
+                        confidence: det.confidence as f32,
+                        size: SizeClass::quantize(det.bbox.width(), det.bbox.height()),
+                    }));
+                    let msg = UploadMessage {
+                        camera: cam as u32,
+                        frame: 0,
+                        objects: std::mem::take(records),
+                    };
+                    let ms =
+                        lost as f64 * model.retry_timeout_ms + network.uplink_ms(msg.encoded_len());
+                    *records = msg.objects;
+                    ms
+                }
+                None => model.deadline_ms(),
+            };
+            uplink_phase = uplink_phase.max(leg);
+        }
+        uplink_phase
+    }
+
     /// A key frame for the tracking-based algorithms: parallel full-frame
     /// inspection, then serial cross-camera coordination.
     fn key_frame(
@@ -904,28 +959,40 @@ impl Pipeline {
                     .collect();
                 let synced_cams: Vec<CameraId> =
                     (0..m).filter(|&i| synced[i]).map(CameraId).collect();
-                let mut priority: Vec<CameraId> = Vec::new();
-                // `false` means the horizon produced no schedule at all:
-                // every camera coasts on its stale mask and running tracks
-                // until the next key frame. In a long-running service this
-                // is a degradation event, never a panic.
-                let solved = 'solve: {
-                    if synced_cams.is_empty() {
-                        break 'solve false;
+                let cameras: Vec<CameraInfo> = workers
+                    .iter()
+                    .map(|w| CameraInfo {
+                        id: CameraId(w.index),
+                        profile: w.profile.clone(),
+                    })
+                    .collect();
+
+                // The central solve as a pure function of the uploaded
+                // boxes and the persistent solver state. It touches no
+                // worker, network, or upload state, so the pipelined path
+                // can run it on a scoped thread while the coordinator
+                // encodes the uplink leg below. `None` means the horizon
+                // produced no schedule at all: every camera coasts on its
+                // stale mask and running tracks until the next key frame.
+                // In a long-running service this is a degradation event,
+                // never a panic.
+                let config = &self.config;
+                let trained = &self.trained;
+                let solver = &mut self.solver;
+                let sharded_solver = &mut self.sharded_solver;
+                let mut recorder = self.tracer.as_mut();
+                let threads = self.threads;
+                let synced_cams_ref = &synced_cams;
+                let solve = move || {
+                    if synced_cams_ref.is_empty() {
+                        return None;
                     }
                     let globals = {
-                        let trained = self.trained.as_ref().expect("association is trained");
+                        let trained = trained.as_ref().expect("association is trained");
                         trained.engine.associate(&boxes)
                     };
                     // Build the MVS instance over the full deployment …
-                    let cameras: Vec<CameraInfo> = workers
-                        .iter()
-                        .map(|w| CameraInfo {
-                            id: CameraId(w.index),
-                            profile: w.profile.clone(),
-                        })
-                        .collect();
-                    let margin = 1.0 + self.config.tracker.margin_frac;
+                    let margin = 1.0 + config.tracker.margin_frac;
                     let objects: Vec<ObjectInfo> = globals
                         .iter()
                         .enumerate()
@@ -952,11 +1019,11 @@ impl Pipeline {
                         .collect();
                     let problem =
                         MvsProblem::new(cameras, objects).expect("pipeline builds valid instances");
-                    let redundancy = self.config.redundancy.max(1);
+                    let redundancy = config.redundancy.max(1);
                     // … and solve on the synced sub-problem when degraded,
                     // lifting owners and priority back to deployment ids.
-                    if synced_cams.len() == m {
-                        if self.config.shard_solver && redundancy == 1 {
+                    if synced_cams_ref.len() == m {
+                        if config.shard_solver && redundancy == 1 {
                             // City-scale path: solve independently per
                             // view-overlap component, in parallel. The
                             // instance's own coverage graph always yields
@@ -964,18 +1031,24 @@ impl Pipeline {
                             // to the monolithic solve below.
                             let plan =
                                 ShardPlan::from_components(&OverlapGraph::from_problem(&problem));
-                            let schedule = if self.config.warm_start {
-                                self.sharded_solver.solve(&problem, &plan, self.threads)
+                            let schedule = if config.warm_start {
+                                sharded_solver.solve(&problem, &plan, threads)
+                            } else if config.pipelined {
+                                // Cold pipelined solve: shards merge as
+                                // they complete. Exact plans give each
+                                // shard disjoint output columns, so the
+                                // merge order cannot change a single bit.
+                                balb_sharded_pipelined(&problem, &plan, threads)
                             } else {
-                                balb_sharded_threaded(&problem, &plan, self.threads)
+                                balb_sharded_threaded(&problem, &plan, threads)
                             };
                             span_into(
-                                self.tracer.as_mut().map(|t| t.coordinator()),
+                                recorder.as_mut().map(|t| t.coordinator()),
                                 Stage::Central,
                                 0.0,
                                 problem.num_objects(),
                             );
-                            self.assignment = (0..globals.len())
+                            let assignment: Vec<Vec<usize>> = (0..globals.len())
                                 .map(|g| {
                                     schedule
                                         .assignment
@@ -985,18 +1058,18 @@ impl Pipeline {
                                         .collect()
                                 })
                                 .collect();
-                            priority = schedule.priority;
-                        } else if self.config.warm_start && redundancy == 1 {
+                            Some((globals, assignment, schedule.priority))
+                        } else if config.warm_start && redundancy == 1 {
                             // Fully-synced single-owner horizon: repair the
                             // previous schedule instead of recomputing.
                             // Bitwise-identical to the cold path (the
                             // solver falls back to a cold solve itself on
                             // large scene changes).
-                            let schedule = self.solver.solve_owned_traced(
+                            let schedule = solver.solve_owned_traced(
                                 problem,
-                                self.tracer.as_mut().map(|t| t.coordinator()),
+                                recorder.as_mut().map(|t| t.coordinator()),
                             );
-                            self.assignment = (0..globals.len())
+                            let assignment: Vec<Vec<usize>> = (0..globals.len())
                                 .map(|g| {
                                     schedule
                                         .assignment
@@ -1006,14 +1079,14 @@ impl Pipeline {
                                         .collect()
                                 })
                                 .collect();
-                            priority = schedule.priority.clone();
+                            Some((globals, assignment, schedule.priority.clone()))
                         } else {
                             let schedule = mvs_core::extensions::balb_redundant_traced(
                                 &problem,
                                 redundancy,
-                                self.tracer.as_mut().map(|t| t.coordinator()),
+                                recorder.as_mut().map(|t| t.coordinator()),
                             );
-                            self.assignment = (0..globals.len())
+                            let assignment: Vec<Vec<usize>> = (0..globals.len())
                                 .map(|g| {
                                     schedule
                                         .assignment
@@ -1023,61 +1096,98 @@ impl Pipeline {
                                         .collect()
                                 })
                                 .collect();
-                            priority = schedule.priority;
+                            Some((globals, assignment, schedule.priority))
                         }
                     } else {
                         // Degraded horizon: re-solve on the synced
                         // sub-fleet. An `Err` means no schedulable camera
                         // survived the restriction after all — coast like
                         // the all-desynced case instead of crashing.
-                        let Ok(subset) = problem.restrict_to_cameras(&synced_cams) else {
-                            break 'solve false;
+                        let Ok(subset) = problem.restrict_to_cameras(synced_cams_ref) else {
+                            return None;
                         };
                         let schedule = mvs_core::extensions::balb_redundant_traced(
                             &subset.problem,
                             redundancy,
-                            self.tracer.as_mut().map(|t| t.coordinator()),
+                            recorder.as_mut().map(|t| t.coordinator()),
                         );
-                        self.assignment = vec![Vec::new(); globals.len()];
+                        let mut assignment = vec![Vec::new(); globals.len()];
                         for o in subset.problem.objects() {
                             let orig = subset.original_object(o.id);
-                            self.assignment[orig.0] = schedule
+                            assignment[orig.0] = schedule
                                 .assignment
                                 .owners_of(o.id)
                                 .iter()
                                 .map(|&c| subset.original_camera(c).0)
                                 .collect();
                         }
-                        priority = subset.lift_priority(&schedule.priority);
+                        let priority = subset.lift_priority(&schedule.priority);
+                        Some((globals, assignment, priority))
                     }
+                };
 
-                    // Seed trackers per the assignment; record shadows.
-                    for (g, go) in globals.iter().enumerate() {
-                        let owners = &self.assignment[g];
-                        for &(cam, det) in &go.members {
-                            let d = &all_dets[cam][det];
-                            if owners.contains(&cam) {
-                                let id = workers[cam].tracker.seed(d.bbox, d.truth_id);
-                                workers[cam].track_global.insert(id, g);
-                            } else if self.config.algorithm == Algorithm::Balb {
-                                workers[cam].shadows.insert(g, ShadowTrack::new(d.bbox));
+                // The uplink leg never depends on the solve, only on what
+                // the cameras uploaded — the sync delay the pipelined path
+                // hides the solve behind. Sequentially: solve, then
+                // encode. Pipelined: encode on this thread while the solve
+                // runs on a scoped one; joining before the apply phase
+                // keeps every downstream effect in the sequential order,
+                // so results and traces are bitwise identical either way.
+                let mut records = std::mem::take(&mut self.upload_scratch);
+                let network = &self.config.network;
+                let (outcome, uplink_phase) = if self.config.pipelined && self.threads > 1 {
+                    std::thread::scope(|scope| {
+                        let handle = scope.spawn(solve);
+                        let uplink =
+                            Self::uplink_phase_ms(&all_dets, &up, &model, network, &mut records);
+                        (
+                            handle.join().expect("central solve thread panicked"),
+                            uplink,
+                        )
+                    })
+                } else {
+                    let outcome = solve();
+                    let uplink =
+                        Self::uplink_phase_ms(&all_dets, &up, &model, network, &mut records);
+                    (outcome, uplink)
+                };
+                self.upload_scratch = records;
+
+                // Apply phase: seed trackers per the assignment, record
+                // shadows, rebuild the distributed-stage masks.
+                let mut priority: Vec<CameraId> = Vec::new();
+                let solved = match outcome {
+                    Some((globals, assignment, new_priority)) => {
+                        self.assignment = assignment;
+                        priority = new_priority;
+                        for (g, go) in globals.iter().enumerate() {
+                            let owners = &self.assignment[g];
+                            for &(cam, det) in &go.members {
+                                let d = &all_dets[cam][det];
+                                if owners.contains(&cam) {
+                                    let id = workers[cam].tracker.seed(d.bbox, d.truth_id);
+                                    workers[cam].track_global.insert(id, g);
+                                } else if self.config.algorithm == Algorithm::Balb {
+                                    workers[cam].shadows.insert(g, ShadowTrack::new(d.bbox));
+                                }
                             }
                         }
-                    }
-                    // Distributed-stage masks under the new priority
-                    // order. Only synced cameras hear it; the priority
-                    // omits everyone else, so survivors absorb dead
-                    // cameras' cells while desynced cameras coast on
-                    // their stale masks.
-                    if self.config.algorithm == Algorithm::Balb {
-                        let pre = self.precompute.as_ref().expect("BALB precomputes masks");
-                        for w in workers.iter_mut() {
-                            if synced[w.index] {
-                                pre.mask_for_into(w.index, &priority, &mut w.mask);
+                        // Distributed-stage masks under the new priority
+                        // order. Only synced cameras hear it; the priority
+                        // omits everyone else, so survivors absorb dead
+                        // cameras' cells while desynced cameras coast on
+                        // their stale masks.
+                        if self.config.algorithm == Algorithm::Balb {
+                            let pre = self.precompute.as_ref().expect("BALB precomputes masks");
+                            for w in workers.iter_mut() {
+                                if synced[w.index] {
+                                    pre.mask_for_into(w.index, &priority, &mut w.mask);
+                                }
                             }
                         }
+                        true
                     }
-                    true
+                    None => false,
                 };
                 if !solved {
                     // Nobody heard the scheduler this horizon (or nothing
@@ -1092,36 +1202,6 @@ impl Pipeline {
                 // amortized over the horizon. Lost attempts cost one
                 // retry timeout each; a camera that never answers makes
                 // the scheduler wait out the whole retry schedule.
-                // The typed messages are built over one reused record
-                // buffer, so the per-camera fan-out does not allocate once
-                // the buffer has reached its high-water capacity.
-                let mut records = std::mem::take(&mut self.upload_scratch);
-                let mut uplink_phase: f64 = 0.0;
-                for (cam, dets) in all_dets.iter().enumerate() {
-                    let leg = match up[cam] {
-                        Some(lost) => {
-                            records.clear();
-                            records.extend(dets.iter().enumerate().map(|(d, det)| ObjectRecord {
-                                detection: d as u32,
-                                bbox: det.bbox,
-                                confidence: det.confidence as f32,
-                                size: SizeClass::quantize(det.bbox.width(), det.bbox.height()),
-                            }));
-                            let msg = UploadMessage {
-                                camera: cam as u32,
-                                frame: 0,
-                                objects: records,
-                            };
-                            let ms = lost as f64 * model.retry_timeout_ms
-                                + self.config.network.uplink_ms(msg.encoded_len());
-                            records = msg.objects;
-                            ms
-                        }
-                        None => model.deadline_ms(),
-                    };
-                    uplink_phase = uplink_phase.max(leg);
-                }
-                self.upload_scratch = records;
                 let reply_ms = if synced_cams.is_empty() {
                     0.0
                 } else {
@@ -1307,7 +1387,7 @@ impl Pipeline {
                             .predicted
                             .extend(w.shadows.values().map(|s| s.bbox));
                     }
-                    find_new_regions_into(
+                    w.scratch.regions.find_into(
                         w.scratch.flow.moving_clusters(),
                         &w.scratch.predicted,
                         0.5,

@@ -273,6 +273,11 @@ pub struct ServeConfig {
     pub max_keep_every: u64,
     /// Use the sharded central solver (city-scale path).
     pub shard_solver: bool,
+    /// Overlap each tenant's central solve with uplink-leg encoding on key
+    /// frames (see [`PipelineConfig::pipelined`]). Semantically a no-op:
+    /// reports are bitwise identical with it on or off.
+    #[serde(default)]
+    pub pipelined: bool,
     /// Serve-level chaos schedule: coordinator crashes, pipeline poison,
     /// and pool degradation. Inactive by default.
     #[serde(default)]
@@ -302,6 +307,7 @@ impl Default for ServeConfig {
             faults: FaultModel::none(),
             max_keep_every: 4,
             shard_solver: false,
+            pipelined: false,
             chaos: ServeFaultModel::none(),
             snapshot_every_horizons: 0,
         }
@@ -961,6 +967,7 @@ impl ServeLoop {
                 measured_overheads: false,
                 faults: config.faults,
                 shard_solver: config.shard_solver,
+                pipelined: config.pipelined,
                 ..PipelineConfig::paper_default(Algorithm::Balb)
             };
             horizon = pipe_config.horizon;
@@ -1108,6 +1115,7 @@ impl ServeLoop {
                 measured_overheads: false,
                 faults: config.faults,
                 shard_solver: config.shard_solver,
+                pipelined: config.pipelined,
                 ..PipelineConfig::paper_default(Algorithm::Balb)
             };
             horizon = pipe_config.horizon;

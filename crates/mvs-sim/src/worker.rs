@@ -17,8 +17,8 @@ use mvs_core::{CameraMask, ShadowTrack};
 use mvs_geometry::{BBox, FrameDims};
 use mvs_trace::TraceBuf;
 use mvs_vision::{
-    Detection, FlowField, FlowTracker, GroundTruthObject, LatencyProfile, RegionTask,
-    SimulatedDetector, TrackId,
+    Detection, FlowField, FlowTracker, GroundTruthObject, LatencyProfile, NewRegionFinder,
+    RegionTask, SimulatedDetector, TrackId,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -40,6 +40,8 @@ pub(crate) struct FrameScratch {
     pub predicted: Vec<BBox>,
     /// Unexplained moving clusters (new-object probe regions).
     pub fresh: Vec<BBox>,
+    /// Column-major scratch for the new-region coverage test.
+    pub regions: NewRegionFinder,
     /// `(global index, seed box)` pairs from the takeover scan.
     pub takeover_seeds: Vec<(usize, BBox)>,
     /// Detections accumulated across this frame's crop tasks.

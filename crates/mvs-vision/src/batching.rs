@@ -176,6 +176,114 @@ pub fn batches_needed(count: usize, limit: usize) -> usize {
     count.div_ceil(limit)
 }
 
+/// Per-size crop counts for *every* camera at once, stored as one flat
+/// row-major matrix (`rows × SizeClass::COUNT`).
+///
+/// The scalar path materializes a [`SizeCounts`] per camera and walks them
+/// in separate per-camera loops; this batch keeps all counts contiguous so
+/// cross-camera accumulation (one pass over the assignment) and the
+/// latency model (one pass over the matrix) iterate flat slices. Each
+/// row's latency is the exact [`SizeCounts::latency_ms`] expression —
+/// bitwise identical, which the differential proptests enforce.
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::SizeClass;
+/// use mvs_vision::{DeviceKind, LatencyProfile, SizeCounts, SizeCountsBatch};
+///
+/// let p = LatencyProfile::for_device(DeviceKind::Xavier);
+/// let mut batch = SizeCountsBatch::new();
+/// batch.reset(2);
+/// batch.add(0, SizeClass::S128);
+/// batch.add(1, SizeClass::S512);
+/// let scalar = SizeCounts::from_sizes([SizeClass::S128]);
+/// assert_eq!(
+///     batch.latency_row_ms(0, &p).to_bits(),
+///     scalar.latency_ms(&p).to_bits()
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SizeCountsBatch {
+    counts: Vec<usize>,
+    rows: usize,
+}
+
+impl SizeCountsBatch {
+    /// An empty batch with zero rows.
+    #[must_use]
+    pub fn new() -> Self {
+        SizeCountsBatch::default()
+    }
+
+    /// Number of rows (cameras) in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Zeroes the matrix and resizes it to `rows` cameras, keeping the
+    /// allocation (the per-solve buffer-reuse path).
+    pub fn reset(&mut self, rows: usize) {
+        self.counts.clear();
+        self.counts.resize(rows * SizeClass::COUNT, 0);
+        self.rows = rows;
+    }
+
+    /// Adds one crop of `size` to camera `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn add(&mut self, row: usize, size: SizeClass) {
+        assert!(row < self.rows, "row {row} out of range");
+        self.counts[row * SizeClass::COUNT + size.index()] += 1;
+    }
+
+    /// Number of crops of `size` on camera `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn count(&self, row: usize, size: SizeClass) -> usize {
+        assert!(row < self.rows, "row {row} out of range");
+        self.counts[row * SizeClass::COUNT + size.index()]
+    }
+
+    /// Copies camera `row` out as a scalar [`SizeCounts`] (the AoS adapter
+    /// direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> SizeCounts {
+        assert!(row < self.rows, "row {row} out of range");
+        let base = row * SizeClass::COUNT;
+        let mut counts = [0; SizeClass::COUNT];
+        counts.copy_from_slice(&self.counts[base..base + SizeClass::COUNT]);
+        SizeCounts { counts }
+    }
+
+    /// Per-frame DNN latency (ms) of camera `row` under greedy same-size
+    /// batching — the same terms, summed in the same size-class order, as
+    /// [`SizeCounts::latency_ms`], so the result is bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn latency_row_ms(&self, row: usize, profile: &LatencyProfile) -> f64 {
+        assert!(row < self.rows, "row {row} out of range");
+        let base = row * SizeClass::COUNT;
+        SizeClass::ALL
+            .iter()
+            .map(|&s| {
+                batches_needed(self.counts[base + s.index()], profile.batch_limit(s)) as f64
+                    * profile.batch_latency_ms(s)
+            })
+            .sum()
+    }
+}
+
 /// Greedy batch-sequence builder: collects size classes and emits concrete
 /// batches (lists of task indices) per size.
 ///

@@ -28,14 +28,16 @@ mod detector;
 mod latency;
 mod new_region;
 mod optical_flow;
+mod scalar;
 mod slicing;
 mod tracker;
 
-pub use batching::{batches_needed, Batch, BatchBuilder, SizeCounts};
+pub use batching::{batches_needed, Batch, BatchBuilder, SizeCounts, SizeCountsBatch};
 pub use detector::{Detection, DetectionModel, GroundTruthObject, SimulatedDetector};
 pub use latency::{DeviceKind, LatencyProfile, SizeProfile};
-pub use new_region::{find_new_regions, find_new_regions_into};
-pub use optical_flow::{FlowField, FlowVector};
+pub use new_region::{find_new_regions, find_new_regions_into, NewRegionFinder};
+pub use optical_flow::{FlowField, FlowSoA, FlowVector};
+pub use scalar::ScalarFlowField;
 pub use slicing::{
     slice_regions, slice_regions_into, slice_regions_traced, slice_regions_traced_into, RegionTask,
 };

@@ -5,7 +5,7 @@
 //! detector catches new objects at first appearance instead of waiting for
 //! the next key frame.
 
-use mvs_geometry::BBox;
+use mvs_geometry::{BBox, BBoxSoA};
 
 /// Finds moving clusters that are not explained by any predicted track box.
 ///
@@ -57,6 +57,76 @@ pub fn find_new_regions_into(
             .any(|p| c.coverage_by(p) >= coverage_threshold)
     }));
     // Merge transitively-overlapping regions into hulls.
+    merge_overlapping(fresh);
+}
+
+/// Data-oriented new-region finder with reusable column scratch.
+///
+/// [`find_new_regions_into`] tests every cluster against every predicted
+/// box through the AoS layout; per frame that is the densest pairwise loop
+/// in the distributed stage. The finder copies the predicted set into
+/// [`BBoxSoA`] columns once and evaluates each cluster's coverage test
+/// against the columns ([`BBoxSoA::covers_box`]), whose per-pair
+/// arithmetic — and short-circuit order — is the exact scalar expression,
+/// so the surviving cluster set, and therefore the merged hulls, are
+/// identical to the scalar path (see the differential proptests).
+///
+/// # Examples
+///
+/// ```
+/// use mvs_geometry::BBox;
+/// use mvs_vision::{find_new_regions, NewRegionFinder};
+///
+/// let clusters = [
+///     BBox::new(100.0, 100.0, 150.0, 150.0)?,
+///     BBox::new(600.0, 300.0, 660.0, 360.0)?,
+/// ];
+/// let predicted = [BBox::new(95.0, 95.0, 155.0, 155.0)?];
+/// let mut finder = NewRegionFinder::new();
+/// let mut fresh = Vec::new();
+/// finder.find_into(&clusters, &predicted, 0.5, &mut fresh);
+/// assert_eq!(fresh, find_new_regions(&clusters, &predicted, 0.5));
+/// # Ok::<(), mvs_geometry::BBoxError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NewRegionFinder {
+    predicted: BBoxSoA,
+}
+
+impl NewRegionFinder {
+    /// A finder with empty scratch columns.
+    #[must_use]
+    pub fn new() -> Self {
+        NewRegionFinder::default()
+    }
+
+    /// Finds unexplained moving clusters exactly like
+    /// [`find_new_regions_into`], but through the column-major coverage
+    /// kernel. Clears `out` and fills it with the merged regions;
+    /// allocation-free once the scratch columns are warm.
+    pub fn find_into(
+        &mut self,
+        clusters: &[BBox],
+        predicted: &[BBox],
+        coverage_threshold: f64,
+        out: &mut Vec<BBox>,
+    ) {
+        self.predicted.fill_from_boxes(predicted);
+        let predicted_cols = &self.predicted;
+        let fresh = out;
+        fresh.clear();
+        fresh.extend(
+            clusters
+                .iter()
+                .filter(|c| !predicted_cols.covers_box(c, coverage_threshold)),
+        );
+        merge_overlapping(fresh);
+    }
+}
+
+/// Merges transitively-overlapping regions into hulls, in place — the
+/// shared tail of the scalar and SoA finders.
+fn merge_overlapping(fresh: &mut Vec<BBox>) {
     let mut merged = true;
     while merged {
         merged = false;
@@ -80,6 +150,25 @@ mod tests {
 
     fn bb(x: f64, y: f64, s: f64) -> BBox {
         BBox::new(x, y, x + s, y + s).unwrap()
+    }
+
+    #[test]
+    fn finder_matches_scalar_on_mixed_scene() {
+        let clusters = [
+            bb(100.0, 100.0, 50.0),
+            bb(500.0, 400.0, 40.0),
+            bb(530.0, 420.0, 40.0),
+            bb(900.0, 0.0, 20.0),
+        ];
+        let predicted = [bb(95.0, 95.0, 60.0), bb(0.0, 0.0, 10.0)];
+        let scalar = find_new_regions(&clusters, &predicted, 0.5);
+        let mut finder = NewRegionFinder::new();
+        let mut fresh = Vec::new();
+        finder.find_into(&clusters, &predicted, 0.5, &mut fresh);
+        assert_eq!(fresh, scalar);
+        // Scratch reuse: a second, different query stays consistent.
+        finder.find_into(&clusters[..1], &predicted, 0.5, &mut fresh);
+        assert_eq!(fresh, find_new_regions(&clusters[..1], &predicted, 0.5));
     }
 
     #[test]

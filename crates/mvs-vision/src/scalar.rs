@@ -1,0 +1,159 @@
+//! Scalar (AoS) reference implementations of the data-oriented kernels.
+//!
+//! The production hot path runs on the column-major layouts
+//! ([`FlowSoA`](crate::FlowSoA), [`mvs_geometry::BBoxSoA`],
+//! [`SizeCountsBatch`](crate::SizeCountsBatch)). This module retains the
+//! original array-of-structs implementations verbatim, for two purposes:
+//!
+//! * the differential proptests assert every SoA kernel bitwise-equal
+//!   (`f64::to_bits`) to these references over randomized scenes;
+//! * `bench_hotpath`'s scalar arm measures them against the SoA path on
+//!   the same machine, making the speedup gate portable.
+//!
+//! They are **not** meant for production callers — use
+//! [`FlowField`](crate::FlowField) and friends instead.
+
+use crate::optical_flow::gaussian;
+use crate::{FlowVector, GroundTruthObject};
+use mvs_geometry::{BBox, Point2};
+use std::collections::HashMap;
+
+/// The original AoS + hash-map flow field, kept as the differential-test
+/// reference for [`FlowSoA`](crate::FlowSoA).
+#[derive(Debug, Clone, Default)]
+pub struct ScalarFlowField {
+    /// Previous-frame object boxes (the support of non-zero flow).
+    prev: Vec<GroundTruthObject>,
+    /// Noisy per-object displacement, keyed by ground-truth id.
+    motions: HashMap<u64, Point2>,
+    /// Clusters of moving pixels in the *current* frame.
+    clusters: Vec<BBox>,
+}
+
+impl ScalarFlowField {
+    /// Minimum displacement (pixels) for an object to register as "moving".
+    pub const MOTION_EPSILON: f64 = 0.5;
+
+    /// An empty field with no probed objects.
+    #[must_use]
+    pub fn empty() -> ScalarFlowField {
+        ScalarFlowField::default()
+    }
+
+    /// Estimates flow between two frames described by their ground-truth
+    /// object sets — the reference for
+    /// [`FlowField::estimate`](crate::FlowField::estimate).
+    pub fn estimate<R: rand::Rng + ?Sized>(
+        prev: &[GroundTruthObject],
+        curr: &[GroundTruthObject],
+        noise_px: f64,
+        rng: &mut R,
+    ) -> ScalarFlowField {
+        let mut field = ScalarFlowField::empty();
+        field.estimate_into(prev, curr, noise_px, rng);
+        field
+    }
+
+    /// Re-estimates this field in place — the reference for
+    /// [`FlowField::estimate_into`](crate::FlowField::estimate_into),
+    /// drawing the RNG in the identical order (two gaussians per current
+    /// object).
+    pub fn estimate_into<R: rand::Rng + ?Sized>(
+        &mut self,
+        prev: &[GroundTruthObject],
+        curr: &[GroundTruthObject],
+        noise_px: f64,
+        rng: &mut R,
+    ) {
+        self.prev.clear();
+        self.prev.extend_from_slice(prev);
+        self.motions.clear();
+        self.clusters.clear();
+        for c in curr {
+            let noise = Point2::new(gaussian(rng) * noise_px, gaussian(rng) * noise_px);
+            // Last match wins, mirroring the id-keyed map (ids are unique
+            // in practice).
+            match prev.iter().rev().find(|p| p.id == c.id) {
+                Some(p) => {
+                    let motion = c.bbox.center() - p.bbox.center() + noise;
+                    if motion.norm() > Self::MOTION_EPSILON {
+                        self.clusters.push(c.bbox);
+                    }
+                    self.motions.insert(c.id, motion);
+                }
+                None => {
+                    // Newly appeared object: all of its pixels changed, so
+                    // it shows up as a moving cluster even though no
+                    // displacement vector exists for it.
+                    self.clusters.push(c.bbox);
+                }
+            }
+        }
+    }
+
+    /// The flow displacement at a pixel of the *previous* frame — the
+    /// reference for
+    /// [`FlowField::displacement_at`](crate::FlowField::displacement_at).
+    pub fn displacement_at(&self, p: Point2) -> FlowVector {
+        let mut best: Option<(&GroundTruthObject, f64)> = None;
+        for o in &self.prev {
+            if o.bbox.contains_point(p) {
+                let area = o.bbox.area();
+                if best.is_none_or(|(_, a)| area < a) {
+                    best = Some((o, area));
+                }
+            }
+        }
+        let displacement = best
+            .and_then(|(o, _)| self.motions.get(&o.id).copied())
+            .unwrap_or(Point2::ORIGIN);
+        FlowVector { displacement }
+    }
+
+    /// Clusters of moving pixels in the current frame (object-sized boxes).
+    pub fn moving_clusters(&self) -> &[BBox] {
+        &self.clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowField;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn obj(id: u64, x: f64, y: f64, side: f64) -> GroundTruthObject {
+        GroundTruthObject {
+            id,
+            bbox: BBox::new(x, y, x + side, y + side).unwrap(),
+        }
+    }
+
+    #[test]
+    fn reference_matches_soa_field_bitwise() {
+        let prev = [obj(1, 0.0, 0.0, 40.0), obj(2, 200.0, 200.0, 40.0)];
+        let curr = [
+            obj(1, 10.0, 0.0, 40.0),
+            obj(2, 200.0, 200.0, 40.0),
+            obj(3, 400.0, 100.0, 40.0),
+        ];
+        let mut rng_a = ChaCha8Rng::seed_from_u64(21);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(21);
+        let scalar = ScalarFlowField::estimate(&prev, &curr, 1.5, &mut rng_a);
+        let soa = FlowField::estimate(&prev, &curr, 1.5, &mut rng_b);
+        assert_eq!(scalar.moving_clusters(), soa.moving_clusters());
+        for p in [
+            Point2::new(20.0, 20.0),
+            Point2::new(220.0, 220.0),
+            Point2::new(-1.0, 7.0),
+        ] {
+            let a = scalar.displacement_at(p).displacement;
+            let b = soa.displacement_at(p).displacement;
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "x at {p:?}");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "y at {p:?}");
+        }
+        // Both consumed the RNG identically.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+}

@@ -1,0 +1,208 @@
+//! Differential proptests: the data-oriented vision kernels bitwise-equal
+//! to their retained scalar (AoS) references.
+//!
+//! [`FlowField`] (the [`FlowSoA`] adapter) must reproduce
+//! [`ScalarFlowField`] exactly — same RNG draw order, same clusters, same
+//! displacement at every pixel under `f64::to_bits`. Likewise
+//! [`NewRegionFinder`] against `find_new_regions_into` and
+//! [`SizeCountsBatch`] rows against per-camera [`SizeCounts`]. Scenes are
+//! randomized and include empty frames, single-object (single-camera)
+//! cases, colliding ids, and degenerate boxes.
+
+use mvs_geometry::{BBox, Point2, SizeClass};
+use mvs_vision::{
+    find_new_regions_into, DeviceKind, FlowField, GroundTruthObject, LatencyProfile,
+    NewRegionFinder, ScalarFlowField, SizeCounts, SizeCountsBatch,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f64..1800.0, 0.0f64..900.0, 0.0f64..180.0, 0.0f64..180.0)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, x + w, y + h).expect("constructed valid"))
+}
+
+/// Objects with ids drawn from a small pool, so scenes occasionally contain
+/// colliding ids — the last-match-wins rule must agree across layouts.
+fn arb_objects() -> impl Strategy<Value = Vec<GroundTruthObject>> {
+    prop::collection::vec(
+        (0u64..10, arb_bbox()).prop_map(|(id, bbox)| GroundTruthObject { id, bbox }),
+        0..12,
+    )
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (-50.0f64..2000.0, -50.0f64..1000.0).prop_map(|(x, y)| Point2::new(x, y)),
+        0..20,
+    )
+}
+
+fn arb_sizes() -> impl Strategy<Value = Vec<SizeClass>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            SizeClass::S64,
+            SizeClass::S128,
+            SizeClass::S256,
+            SizeClass::S512,
+        ]),
+        0..30,
+    )
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceKind> {
+    prop::sample::select(vec![DeviceKind::Nano, DeviceKind::Tx2, DeviceKind::Xavier])
+}
+
+/// Both layouts estimated from the same scene with identically-seeded RNGs.
+fn estimate_pair(
+    prev: &[GroundTruthObject],
+    curr: &[GroundTruthObject],
+    noise_px: f64,
+    seed: u64,
+) -> (ScalarFlowField, FlowField) {
+    let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+    let scalar = ScalarFlowField::estimate(prev, curr, noise_px, &mut rng_a);
+    let soa = FlowField::estimate(prev, curr, noise_px, &mut rng_b);
+    // Identical RNG consumption is part of the contract: a layout change
+    // that drew differently would silently reshuffle every later draw.
+    assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    (scalar, soa)
+}
+
+proptest! {
+    #[test]
+    fn flow_field_matches_scalar_reference_bitwise(
+        prev in arb_objects(),
+        curr in arb_objects(),
+        noise in 0.0f64..4.0,
+        seed in proptest::prelude::any::<u64>(),
+        probes in arb_points(),
+    ) {
+        let (scalar, soa) = estimate_pair(&prev, &curr, noise, seed);
+        prop_assert_eq!(scalar.moving_clusters(), soa.moving_clusters());
+        for p in probes {
+            let a = scalar.displacement_at(p).displacement;
+            let b = soa.displacement_at(p).displacement;
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits(), "x diverged at {:?}", p);
+            prop_assert_eq!(a.y.to_bits(), b.y.to_bits(), "y diverged at {:?}", p);
+        }
+        // Object centres and corners are the queries track prediction
+        // actually issues; cover them besides the uniform probes.
+        for o in &prev {
+            let a = scalar.displacement_at(o.bbox.center()).displacement;
+            let b = soa.displacement_at(o.bbox.center()).displacement;
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+            prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_lookup_matches_single_queries_bitwise(
+        prev in arb_objects(),
+        curr in arb_objects(),
+        seed in proptest::prelude::any::<u64>(),
+        probes in arb_points(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let flow = FlowField::estimate(&prev, &curr, 2.0, &mut rng);
+        let (mut best_area, mut best, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        flow.soa()
+            .displacements_at_into(&probes, &mut best_area, &mut best, &mut out);
+        prop_assert_eq!(out.len(), probes.len());
+        for (j, p) in probes.iter().enumerate() {
+            let single = flow.displacement_at(*p).displacement;
+            prop_assert_eq!(out[j].x.to_bits(), single.x.to_bits(), "x diverged at {:?}", p);
+            prop_assert_eq!(out[j].y.to_bits(), single.y.to_bits(), "y diverged at {:?}", p);
+        }
+        // Scratch reuse: a shorter follow-up query through the same
+        // buffers must not see stale winners.
+        let half = &probes[..probes.len() / 2];
+        flow.soa()
+            .displacements_at_into(half, &mut best_area, &mut best, &mut out);
+        prop_assert_eq!(out.len(), half.len());
+        for (j, p) in half.iter().enumerate() {
+            let single = flow.displacement_at(*p).displacement;
+            prop_assert_eq!(out[j].x.to_bits(), single.x.to_bits());
+            prop_assert_eq!(out[j].y.to_bits(), single.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_reestimation_matches_fresh_scalar(
+        scene_a in arb_objects(),
+        scene_b in arb_objects(),
+        scene_c in arb_objects(),
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        // The steady-state loop re-estimates into warm column buffers;
+        // leftover capacity from a bigger earlier frame must not leak into
+        // the result.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let mut warm = FlowField::empty();
+        warm.estimate_into(&scene_a, &scene_b, 1.5, &mut rng_b);
+        let _ = ScalarFlowField::estimate(&scene_a, &scene_b, 1.5, &mut rng_a);
+        warm.estimate_into(&scene_b, &scene_c, 1.5, &mut rng_b);
+        let scalar = ScalarFlowField::estimate(&scene_b, &scene_c, 1.5, &mut rng_a);
+        prop_assert_eq!(scalar.moving_clusters(), warm.moving_clusters());
+        for o in &scene_b {
+            let a = scalar.displacement_at(o.bbox.center()).displacement;
+            let b = warm.displacement_at(o.bbox.center()).displacement;
+            prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+            prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn region_finder_matches_scalar_path(
+        clusters in prop::collection::vec(arb_bbox(), 0..16),
+        predicted in prop::collection::vec(arb_bbox(), 0..16),
+        threshold in 0.0f64..1.0,
+    ) {
+        let mut scalar = Vec::new();
+        find_new_regions_into(&clusters, &predicted, threshold, &mut scalar);
+        let mut finder = NewRegionFinder::new();
+        let mut fresh = Vec::new();
+        finder.find_into(&clusters, &predicted, threshold, &mut fresh);
+        prop_assert_eq!(&fresh, &scalar);
+        // Scratch reuse with a different predicted set.
+        find_new_regions_into(&clusters, &[], threshold, &mut scalar);
+        finder.find_into(&clusters, &[], threshold, &mut fresh);
+        prop_assert_eq!(&fresh, &scalar);
+    }
+
+    #[test]
+    fn size_counts_batch_rows_match_scalar_bitwise(
+        rows in prop::collection::vec(arb_sizes(), 0..6),
+        device in arb_device(),
+    ) {
+        let profile = LatencyProfile::for_device(device);
+        let mut batch = SizeCountsBatch::new();
+        batch.reset(rows.len());
+        for (r, sizes) in rows.iter().enumerate() {
+            for &s in sizes {
+                batch.add(r, s);
+            }
+        }
+        for (r, sizes) in rows.iter().enumerate() {
+            let scalar = SizeCounts::from_sizes(sizes.iter().copied());
+            prop_assert_eq!(
+                batch.latency_row_ms(r, &profile).to_bits(),
+                scalar.latency_ms(&profile).to_bits(),
+                "row {} latency diverged", r
+            );
+            prop_assert_eq!(batch.row(r), scalar);
+            for s in [SizeClass::S64, SizeClass::S128, SizeClass::S256, SizeClass::S512] {
+                prop_assert_eq!(batch.count(r, s), scalar.count(s));
+            }
+        }
+        // Reset must fully clear rows for the next frame.
+        batch.reset(rows.len());
+        for r in 0..rows.len() {
+            prop_assert_eq!(batch.latency_row_ms(r, &profile).to_bits(), 0.0f64.to_bits());
+        }
+    }
+}

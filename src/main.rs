@@ -99,6 +99,9 @@ mod cli {
         /// instead of monolithically (identical schedules; compute-only
         /// knob for large fleets).
         pub shard_solver: bool,
+        /// Overlap the central solve with uplink-leg encoding on key
+        /// frames (identical results; wall-clock-only knob).
+        pub pipelined: bool,
     }
 
     impl Default for Options {
@@ -116,6 +119,7 @@ mod cli {
                 cameras: CityConfig::default().cameras,
                 intensity: 1.0,
                 shard_solver: false,
+                pipelined: false,
             }
         }
     }
@@ -242,6 +246,7 @@ mod cli {
                 "--no-batching" => options.disable_batching = true,
                 "--no-warm-start" => options.no_warm_start = true,
                 "--shard-solver" => options.shard_solver = true,
+                "--pipelined" => options.pipelined = true,
                 "--trace" => options.trace_dir = Some(value("--trace")?),
                 "--cameras" => {
                     city_only("--cameras")?;
@@ -387,6 +392,7 @@ mod cli {
                     }
                 }
                 "--shard-solver" => config.shard_solver = true,
+                "--pipelined" => config.pipelined = true,
                 "--trace" => trace_dir = Some(value("--trace")?),
                 "--chaos-seed" => {
                     config.chaos.seed = value("--chaos-seed")?
@@ -810,6 +816,9 @@ OPTIONS:
     --shard-solver    solve key frames shard-by-shard over the camera
                       overlap graph (identical schedules; compute-only
                       knob for large fleets)
+    --pipelined       overlap the central solve with uplink-leg encoding
+                      on key frames (identical results; wall-clock-only
+                      knob)
 
 Options only apply where they make sense: city knobs are rejected on the
 fixed presets, serve flags are rejected on `run`, and vice versa.
@@ -832,6 +841,8 @@ SERVE OPTIONS:
     --dropout P        camera dropout probability per horizon
     --max-keep-every N deepest frame-thinning rung      (default 4)
     --shard-solver     sharded central solver
+    --pipelined        overlap each tenant's central solve with uplink
+                       encoding (identical reports)
     --trace DIR        write per-tenant labeled Prometheus text and Chrome
                        traces into DIR/
 
@@ -892,6 +903,14 @@ fn report_trace(trace: &Trace, dir: &str) -> std::io::Result<()> {
 
 /// Prints the per-tenant admission and latency table for a serving run.
 fn report_serve(report: &ServeReport) {
+    print!("{}", serve_report_text(report));
+}
+
+/// Renders the serving report as text — kept separate from the printing
+/// wrapper so regression tests can hold the format.
+fn serve_report_text(report: &ServeReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
     let mut table = TextTable::new(vec![
         "tenant",
         "decision",
@@ -923,8 +942,13 @@ fn report_serve(report: &ServeReport) {
             format!("{:.3}", t.recall),
         ]);
     }
-    println!("\nper-tenant admission and serving outcomes\n\n{table}");
-    println!(
+    writeln!(
+        out,
+        "\nper-tenant admission and serving outcomes\n\n{table}"
+    )
+    .unwrap();
+    writeln!(
+        out,
         "aggregate: load {:.2}/{:.2} cores, {} captured, {} processed, drop rate {:.1}%, \
          e2e p99 {:.1} ms, core utilization {:.1}%",
         report.admitted_load_cores,
@@ -934,10 +958,25 @@ fn report_serve(report: &ServeReport) {
         report.drop_rate * 100.0,
         report.e2e_ms.p99,
         report.core_utilization * 100.0
-    );
+    )
+    .unwrap();
+    // Poisoned (non-finite) samples are excluded from every latency
+    // summary rather than silently shifting the percentiles; say so
+    // whenever that happened.
+    let rejected_e2e = report.e2e_ms.rejected;
+    let rejected_service: usize = report.tenants.iter().map(|t| t.service_ms.rejected).sum();
+    if rejected_e2e + rejected_service > 0 {
+        writeln!(
+            out,
+            "rejected latency samples: {rejected_e2e} e2e, {rejected_service} service \
+             (non-finite; excluded from the latency summaries)"
+        )
+        .unwrap();
+    }
     if report.recovery.any() {
         let r = &report.recovery;
-        println!(
+        writeln!(
+            out,
             "recovery: {} restart(s) (mttr {:.1} ms, availability {:.2}%), \
              {} replayed frames, {} quarantine(s), {} readmission(s), {} snapshot(s)",
             r.restarts,
@@ -947,24 +986,30 @@ fn report_serve(report: &ServeReport) {
             r.quarantines,
             r.readmissions,
             r.snapshots_taken
-        );
+        )
+        .unwrap();
         if r.restarts > 0 {
-            println!(
+            writeln!(
+                out,
                 "post-recovery e2e p99: {:.1} ms",
                 report.post_recovery_e2e_ms.p99
-            );
+            )
+            .unwrap();
         }
     }
     if !report.transitions.is_empty() {
-        println!(
+        writeln!(
+            out,
             "admission transitions: {} (last at {:.1} s)",
             report.transitions.len(),
             report
                 .transitions
                 .last()
                 .map_or(0.0, |t| t.at_us as f64 / 1e6)
-        );
+        )
+        .unwrap();
     }
+    out
 }
 
 /// Writes one labeled Prometheus snapshot and one Chrome trace per tenant.
@@ -995,6 +1040,7 @@ fn config_from(algorithm: Algorithm, options: &cli::Options) -> PipelineConfig {
         warm_start: !options.no_warm_start,
         threads: options.threads,
         shard_solver: options.shard_solver,
+        pipelined: options.pipelined,
         ..PipelineConfig::paper_default(algorithm)
     }
 }
@@ -1126,4 +1172,45 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod serve_report_tests {
+    use super::*;
+    use multiview_scheduler::sim::ServeConfig;
+
+    fn tiny_report() -> ServeReport {
+        run_serve(&ServeConfig {
+            tenants: 1,
+            cameras_per_tenant: 2,
+            duration_s: 1.0,
+            train_s: 5.0,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn clean_report_has_no_rejected_line() {
+        let report = tiny_report();
+        assert_eq!(report.e2e_ms.rejected, 0);
+        let text = serve_report_text(&report);
+        assert!(text.contains("per-tenant admission and serving outcomes"));
+        assert!(text.contains("aggregate: load"));
+        assert!(
+            !text.contains("rejected latency samples"),
+            "clean run must not warn about rejected samples:\n{text}"
+        );
+    }
+
+    #[test]
+    fn rejected_samples_are_surfaced_with_counts() {
+        let mut report = tiny_report();
+        report.e2e_ms.rejected = 3;
+        report.tenants[0].service_ms.rejected = 2;
+        let text = serve_report_text(&report);
+        assert!(
+            text.contains("rejected latency samples: 3 e2e, 2 service"),
+            "rejected counts missing from report text:\n{text}"
+        );
+    }
 }

@@ -3,9 +3,10 @@
 //! Each scenario runs the pipeline in pure-function mode
 //! (`measured_overheads = false`), renders the trace in the compact golden
 //! format, and compares it byte-for-byte against the file checked into
-//! `tests/golden/`. The render is repeated at 1, 2, and 4 worker threads
-//! inside each test, so any thread-count dependence fails here before it
-//! reaches CI's `MVS_THREADS` matrix.
+//! `tests/golden/`. The render is repeated at 1, 2, 4, and 8 worker
+//! threads inside each test — sequentially and with the pipelined
+//! key-frame path on — so any thread-count or overlap dependence fails
+//! here before it reaches CI's `MVS_THREADS` matrix.
 //!
 //! To regenerate after an intentional pipeline or format change:
 //!
@@ -20,7 +21,7 @@ use multiview_scheduler::sim::{
 };
 use std::path::PathBuf;
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -44,15 +45,25 @@ fn base_config() -> PipelineConfig {
 fn check_golden(name: &str, scenario: &Scenario, config: &PipelineConfig) {
     let mut rendered: Vec<String> = Vec::new();
     for threads in THREAD_COUNTS {
-        let cfg = PipelineConfig {
-            threads,
-            ..config.clone()
-        };
-        let (_, trace) = run_pipeline_traced(scenario, &cfg);
-        rendered.push(trace.golden_text());
+        for pipelined in [false, true] {
+            let cfg = PipelineConfig {
+                threads,
+                pipelined,
+                ..config.clone()
+            };
+            let (_, trace) = run_pipeline_traced(scenario, &cfg);
+            rendered.push(trace.golden_text());
+        }
     }
-    assert_eq!(rendered[0], rendered[1], "{name}: 1 vs 2 threads");
-    assert_eq!(rendered[0], rendered[2], "{name}: 1 vs 4 threads");
+    for (i, r) in rendered.iter().enumerate().skip(1) {
+        let threads = THREAD_COUNTS[i / 2];
+        let mode = if i % 2 == 1 {
+            "pipelined"
+        } else {
+            "sequential"
+        };
+        assert_eq!(&rendered[0], r, "{name}: {mode} at {threads} threads");
+    }
 
     let path = golden_path(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
@@ -80,6 +91,23 @@ fn golden_fault_free_s2_balb() {
         "s2_balb_fault_free",
         &Scenario::new(ScenarioKind::S2),
         &base_config(),
+    );
+}
+
+#[test]
+fn golden_sharded_cold_s2_balb() {
+    // Cold sharded solves are where the pipelined path actually reorders
+    // work (shards merge as they complete); snapshot that plan shape and
+    // hold the merge order to the sequential render.
+    let config = PipelineConfig {
+        warm_start: false,
+        shard_solver: true,
+        ..base_config()
+    };
+    check_golden(
+        "s2_balb_sharded_cold",
+        &Scenario::new(ScenarioKind::S2),
+        &config,
     );
 }
 
