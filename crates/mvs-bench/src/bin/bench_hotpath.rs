@@ -31,6 +31,14 @@
 //! dilute the layout comparison toward 1x. The reported `soa_speedup` is
 //! the scalar/SoA frame-time ratio over the kernel battery.
 //!
+//! A third pair of arms isolates dispatch overhead (ISSUE 10): the same
+//! tiny per-camera payload fanned out per frame via a fresh
+//! `std::thread::scope` spawn per camera (the style the hot path used to
+//! ship — retained only here, as the reference arm) and via the
+//! persistent pool ([`mvs_exec::pool`]). The reported
+//! `pool_dispatch_speedup` is the scoped/pool frame-time ratio; `--check`
+//! holds it above an absolute 1.2x floor plus the usual baseline band.
+//!
 //! A verification pass runs first and asserts the arms produce
 //! bitwise-identical schedules and identical vision outputs on every frame
 //! (kernel arms: identical clusters, displacement bits, IoU matrices,
@@ -713,6 +721,85 @@ fn verify_kernels(w: &Workload, fields: &KernelFields, frames: usize, profiles: 
     }
 }
 
+/// Per-camera payload for the dispatch arms: a small deterministic fold
+/// over the camera's tracks — a few microseconds, so the measured time is
+/// dominated by how the work *reaches* a thread, not the work itself.
+fn dispatch_payload(w: &Workload, f: usize, cam: usize) -> u64 {
+    let mut acc: u64 = 0;
+    for t in &w.tracks[f][cam] {
+        let c = t.bbox.center();
+        acc = acc.rotate_left(7) ^ c.x.to_bits() ^ c.y.to_bits().rotate_left(19);
+        acc = acc.rotate_left(3) ^ t.bbox.area().to_bits();
+    }
+    acc
+}
+
+/// The dispatch style this repo used to ship: a fresh scoped thread per
+/// camera per frame. Retained here as the spawn-overhead reference arm —
+/// the library hot paths no longer contain any such spawn.
+// The intermediate collect is the point: spawn every thread before
+// joining any, as the old scoped call sites did.
+#[allow(clippy::needless_collect)]
+fn run_dispatch_scoped(w: &Workload) -> ArmResult {
+    let mut acc: u64 = 0;
+    let frame = |f: usize, acc: &mut u64| {
+        let outs: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..M)
+                .map(|cam| scope.spawn(move || dispatch_payload(w, f, cam)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("payload thread panicked"))
+                .collect()
+        });
+        for o in outs {
+            *acc = acc.rotate_left(13) ^ o;
+        }
+    };
+    for f in 0..WARMUP_FRAMES {
+        frame(f, &mut acc);
+    }
+    acc = 0;
+    let start = Instant::now();
+    for f in WARMUP_FRAMES..WARMUP_FRAMES + MEASURED_FRAMES {
+        frame(f, &mut acc);
+    }
+    let elapsed = start.elapsed();
+    ArmResult {
+        ms_per_frame: elapsed.as_secs_f64() * 1e3 / MEASURED_FRAMES as f64,
+        allocs_per_frame: None,
+        checksum: acc,
+    }
+}
+
+/// The same per-frame fan-out through the persistent pool
+/// ([`mvs_exec::pool`]): workers are parked between frames, so dispatch is
+/// a channel send and a latch wait instead of two thread spawns.
+fn run_dispatch_pool(w: &Workload) -> ArmResult {
+    let cams: Vec<usize> = (0..M).collect();
+    let mut acc: u64 = 0;
+    let frame = |f: usize, acc: &mut u64| {
+        let outs = mvs_exec::pool().par_map(&cams, M, |&cam| dispatch_payload(w, f, cam));
+        for o in outs {
+            *acc = acc.rotate_left(13) ^ o;
+        }
+    };
+    for f in 0..WARMUP_FRAMES {
+        frame(f, &mut acc);
+    }
+    acc = 0;
+    let start = Instant::now();
+    for f in WARMUP_FRAMES..WARMUP_FRAMES + MEASURED_FRAMES {
+        frame(f, &mut acc);
+    }
+    let elapsed = start.elapsed();
+    ArmResult {
+        ms_per_frame: elapsed.as_secs_f64() * 1e3 / MEASURED_FRAMES as f64,
+        allocs_per_frame: None,
+        checksum: acc,
+    }
+}
+
 /// Timed run of one kernel arm over the measured window (same
 /// warmup/measure/checksum protocol as the cold/warm arms).
 fn run_kernel_arm<S: Default>(
@@ -766,6 +853,16 @@ struct Report {
     /// Scalar kernel time over SoA kernel time (higher is better).
     #[serde(default)]
     soa_speedup: f64,
+    /// Per-frame fan-out via a fresh scoped thread per camera (the
+    /// dispatch style the hot path used to ship).
+    #[serde(default)]
+    scoped_dispatch_ms_per_frame: f64,
+    /// The same fan-out through the persistent pool.
+    #[serde(default)]
+    pool_dispatch_ms_per_frame: f64,
+    /// Scoped dispatch time over pool dispatch time (higher is better).
+    #[serde(default)]
+    pool_dispatch_speedup: f64,
 }
 
 /// `--check` tolerance: fail when the speedup ratio falls more than this
@@ -777,6 +874,11 @@ const CHECK_TOLERANCE: f64 = 1.15;
 /// must stay at least this much faster than the scalar references on the
 /// check machine, independent of the baseline's ratio.
 const SOA_SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Absolute floor on the pool-dispatch speedup: parked-worker dispatch
+/// must stay at least this much faster than per-frame thread spawns on
+/// the check machine, independent of the baseline's ratio.
+const POOL_DISPATCH_FLOOR: f64 = 1.2;
 
 fn check_against(report: &Report, baseline_path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
@@ -799,6 +901,20 @@ fn check_against(report: &Report, baseline_path: &str) -> Result<(), String> {
         return Err(format!(
             "SoA kernel regression: speedup {:.2}x fell below baseline {:.2}x / {}",
             report.soa_speedup, baseline.soa_speedup, CHECK_TOLERANCE
+        ));
+    }
+    if report.pool_dispatch_speedup < POOL_DISPATCH_FLOOR {
+        return Err(format!(
+            "dispatch regression: pool speedup {:.2}x fell below the {POOL_DISPATCH_FLOOR}x floor",
+            report.pool_dispatch_speedup
+        ));
+    }
+    if baseline.pool_dispatch_speedup > 0.0
+        && report.pool_dispatch_speedup < baseline.pool_dispatch_speedup / CHECK_TOLERANCE
+    {
+        return Err(format!(
+            "dispatch regression: pool speedup {:.2}x fell below baseline {:.2}x / {}",
+            report.pool_dispatch_speedup, baseline.pool_dispatch_speedup, CHECK_TOLERANCE
         ));
     }
     if let (Some(now), Some(then)) = (report.warm_allocs_per_frame, baseline.warm_allocs_per_frame)
@@ -842,6 +958,8 @@ fn main() {
     let mut scalar =
         run_kernel_arm::<ScalarKernelScratch>(&w, &fields, &profiles, scalar_kernel_frame);
     let mut soa = run_kernel_arm::<SoaKernelScratch>(&w, &fields, &profiles, soa_kernel_frame);
+    let mut scoped_dispatch = run_dispatch_scoped(&w);
+    let mut pool_dispatch = run_dispatch_pool(&w);
     assert_eq!(
         cold.checksum, warm.checksum,
         "timed arms diverged after verification"
@@ -850,15 +968,23 @@ fn main() {
         scalar.checksum, soa.checksum,
         "timed kernel arms diverged after verification"
     );
+    assert_eq!(
+        scoped_dispatch.checksum, pool_dispatch.checksum,
+        "dispatch arms computed different payloads"
+    );
     for _ in 1..REPS {
         let c = run_cold(&w);
         let h = run_warm(&w);
         let sc = run_kernel_arm::<ScalarKernelScratch>(&w, &fields, &profiles, scalar_kernel_frame);
         let so = run_kernel_arm::<SoaKernelScratch>(&w, &fields, &profiles, soa_kernel_frame);
+        let sd = run_dispatch_scoped(&w);
+        let pd = run_dispatch_pool(&w);
         cold.ms_per_frame = cold.ms_per_frame.min(c.ms_per_frame);
         warm.ms_per_frame = warm.ms_per_frame.min(h.ms_per_frame);
         scalar.ms_per_frame = scalar.ms_per_frame.min(sc.ms_per_frame);
         soa.ms_per_frame = soa.ms_per_frame.min(so.ms_per_frame);
+        scoped_dispatch.ms_per_frame = scoped_dispatch.ms_per_frame.min(sd.ms_per_frame);
+        pool_dispatch.ms_per_frame = pool_dispatch.ms_per_frame.min(pd.ms_per_frame);
     }
 
     // Solver stats from a fresh warm run over the whole frame sequence
@@ -893,6 +1019,9 @@ fn main() {
         scalar_kernel_ms_per_frame: scalar.ms_per_frame,
         soa_kernel_ms_per_frame: soa.ms_per_frame,
         soa_speedup: scalar.ms_per_frame / soa.ms_per_frame,
+        scoped_dispatch_ms_per_frame: scoped_dispatch.ms_per_frame,
+        pool_dispatch_ms_per_frame: pool_dispatch.ms_per_frame,
+        pool_dispatch_speedup: scoped_dispatch.ms_per_frame / pool_dispatch.ms_per_frame,
     };
 
     let mut table = TextTable::new(vec!["metric", "cold", "warm"]);
@@ -923,6 +1052,17 @@ fn main() {
     ]);
     println!("{kernels}");
     println!("soa kernel speedup: {:.2}x", report.soa_speedup);
+    let mut dispatch = TextTable::new(vec!["metric", "scoped", "pool"]);
+    dispatch.row(vec![
+        "dispatch ms/frame".to_string(),
+        format!("{:.4}", report.scoped_dispatch_ms_per_frame),
+        format!("{:.4}", report.pool_dispatch_ms_per_frame),
+    ]);
+    println!("{dispatch}");
+    println!(
+        "pool dispatch speedup: {:.2}x",
+        report.pool_dispatch_speedup
+    );
 
     let path = write_json("BENCH_hotpath", &report);
     println!("wrote {}", path.display());

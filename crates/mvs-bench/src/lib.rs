@@ -9,8 +9,6 @@ use mvs_assoc::CorrespondenceSample;
 use mvs_sim::{resolve_threads, Algorithm, PipelineConfig, ScenarioKind};
 use serde::Serialize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Simulation seconds used to train association models in experiments.
 pub const TRAIN_S: f64 = 90.0;
@@ -54,15 +52,16 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
 /// Scenario display order used by every figure.
 pub const SCENARIOS: [ScenarioKind; 3] = [ScenarioKind::S1, ScenarioKind::S2, ScenarioKind::S3];
 
-/// Runs `f` over `items` on a scoped thread pool and returns the outputs in
-/// input order. Pipeline runs in a sweep are independent and each is
-/// deterministic in its config, so fanning a sweep out across threads
-/// changes wall-clock time only — every figure binary produces the same
-/// JSON at any pool width.
+/// Runs `f` over `items` on the persistent pool ([`mvs_exec::pool`]) and
+/// returns the outputs in input order. Pipeline runs in a sweep are
+/// independent and each is deterministic in its config, so fanning a sweep
+/// out across threads changes wall-clock time only — every figure binary
+/// produces the same JSON at any pool width.
 ///
-/// A shared atomic cursor hands out items one at a time, which keeps the
-/// pool busy even when run times differ wildly across configs (a Full run
-/// costs far more simulated work than a BALB run). The pool width follows
+/// A shared cursor hands out items one at a time
+/// ([`mvs_exec::Executor::par_map_queue`]), which keeps the pool busy even
+/// when run times differ wildly across configs (a Full run costs far more
+/// simulated work than a BALB run). The pool width follows
 /// [`resolve_threads`]`(0)`: `MVS_THREADS` if set, else the machine.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
@@ -70,33 +69,7 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let n = items.len();
-    let threads = resolve_threads(0).min(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every item was processed")
-        })
-        .collect()
+    mvs_exec::pool().par_map_queue(&items, resolve_threads(0), f)
 }
 
 /// Classification dataset extracted from correspondence samples: features

@@ -13,8 +13,9 @@
 //! 2. [`ShardPlan`] — connected components as shards, with an optional
 //!    max-shard-size split for pathologically dense districts;
 //! 3. [`balb_sharded`] / [`ShardedBalbSolver`] — independent per-shard BALB
-//!    solves (cold or warm-started, optionally fanned out over scoped
-//!    threads), merged back into one deployment-wide [`BalbSchedule`];
+//!    solves (cold or warm-started, optionally fanned out over the
+//!    persistent pool, [`mvs_exec::pool`]), merged back into one
+//!    deployment-wide [`BalbSchedule`];
 //! 4. a cross-shard rebalance pass for objects whose coverage a forced
 //!    split cut across shard boundaries.
 //!
@@ -348,7 +349,7 @@ pub fn balb_sharded_threaded(
         return balb_sharded_exact(problem, plan, threads);
     }
     let subsets = shard_subproblems(problem, plan);
-    let schedules = par_map_items(&subsets, threads, |sub| balb_central(&sub.problem));
+    let schedules = mvs_exec::pool().par_map(&subsets, threads, |sub| balb_central(&sub.problem));
     let borrowed: Vec<&BalbSchedule> = schedules.iter().collect();
     merge_shards(problem, plan, &subsets, &borrowed).0
 }
@@ -461,27 +462,15 @@ fn tag_and_bucket(problem: &MvsProblem, plan: &ShardPlan, threads: usize) -> (Ve
         let keying_ms = keying_start.elapsed().as_secs_f64() * 1e3;
         return (buckets, keying_ms);
     }
-    let chunk_len = n.div_ceil(workers);
-    let locals: Vec<Vec<Vec<u64>>> = std::thread::scope(|scope| {
-        // Spawn every chunk worker before joining any: a lazy
-        // spawn-then-join iterator chain would run the chunks serially.
-        let mut handles = Vec::with_capacity(n.div_ceil(chunk_len));
-        for c in 0..n.div_ceil(chunk_len) {
-            let tag = &tag;
-            handles.push(scope.spawn(move || {
-                let mut local: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
-                for j in c * chunk_len..((c + 1) * chunk_len).min(n) {
-                    let (shard, key) = tag(j, &problem.objects()[j]);
-                    local[shard as usize].push(key);
-                }
-                local
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("tagging thread panicked"))
-            .collect()
-    });
+    let locals: Vec<Vec<Vec<u64>>> =
+        mvs_exec::pool().par_chunks(problem.objects(), workers, |start, chunk| {
+            let mut local: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
+            for (off, object) in chunk.iter().enumerate() {
+                let (shard, key) = tag(start + off, object);
+                local[shard as usize].push(key);
+            }
+            local
+        });
     let keying_ms = keying_start.elapsed().as_secs_f64() * 1e3;
     let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); num_shards];
     for local in locals {
@@ -562,7 +551,7 @@ fn balb_sharded_exact_timed(
     let (buckets, keying_ms) = tag_and_bucket(problem, plan, threads);
 
     let solves_start = std::time::Instant::now();
-    let outcomes = par_map_items(&buckets, threads, |bucket| {
+    let outcomes = mvs_exec::pool().par_map(&buckets, threads, |bucket| {
         solve_bucket(problem, &full_frame, bucket)
     });
     let solves_ms = solves_start.elapsed().as_secs_f64() * 1e3;
@@ -589,8 +578,9 @@ fn balb_sharded_exact_timed(
 
 /// Pipelined exact sharded solve: identical shard computations to
 /// [`balb_sharded_threaded`], but the deployment-wide merge runs on the
-/// calling thread *as shards complete* (over an mpsc channel) instead of
-/// after the join, hiding the merge behind the still-running shard solves.
+/// calling thread *as shards complete*
+/// ([`mvs_exec::Executor::merge_as_completed`]) instead of after the
+/// barrier, hiding the merge behind the still-running shard solves.
 ///
 /// Exact plans partition cameras and objects across shards, so each
 /// shard's fold writes a disjoint set of latency entries and owner lists —
@@ -626,45 +616,22 @@ pub fn balb_sharded_pipelined(
 
     let mut owner_lists: Vec<Vec<CameraId>> = vec![Vec::new(); n];
     let mut latencies = full_frame.clone();
-    let num_shards = buckets.len();
-    let workers = threads.clamp(1, num_shards.max(1));
-    if workers == 1 {
-        // Single-threaded: solve and fold shard-by-shard — the same fold
-        // sequence the channel path performs, without the spawns.
-        for (shard, bucket) in plan.shards().iter().zip(&buckets) {
-            let (local, owners, _ms) = solve_bucket(problem, &full_frame, bucket);
-            merge_shard_output(shard, &local, owners, &mut latencies, &mut owner_lists);
-        }
-    } else {
-        let chunk_len = num_shards.div_ceil(workers);
-        let (tx, rx) = std::sync::mpsc::channel();
-        let full_frame = &full_frame;
-        std::thread::scope(|scope| {
-            for (c, chunk) in buckets.chunks(chunk_len).enumerate() {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    for (off, bucket) in chunk.iter().enumerate() {
-                        let out = solve_bucket(problem, full_frame, bucket);
-                        // The receiver outlives the scope, so this only
-                        // fails if the main thread panicked first.
-                        let _ = tx.send((c * chunk_len + off, out));
-                    }
-                });
-            }
-            drop(tx);
-            // Fold shard outputs in completion order; disjoint writes make
-            // the order irrelevant (see merge_shard_output).
-            while let Ok((shard_idx, (local, owners, _ms))) = rx.recv() {
-                merge_shard_output(
-                    &plan.shards()[shard_idx],
-                    &local,
-                    owners,
-                    &mut latencies,
-                    &mut owner_lists,
-                );
-            }
-        });
-    }
+    // Fold shard outputs in completion order (input order with one lane);
+    // disjoint writes make the order irrelevant (see merge_shard_output).
+    mvs_exec::pool().merge_as_completed(
+        &buckets,
+        threads,
+        |_, bucket| solve_bucket(problem, &full_frame, bucket),
+        |shard_idx, (local, owners, _ms)| {
+            merge_shard_output(
+                &plan.shards()[shard_idx],
+                &local,
+                owners,
+                &mut latencies,
+                &mut owner_lists,
+            );
+        },
+    );
 
     let assignment = Assignment::from_owner_lists(owner_lists);
     let mut priority: Vec<CameraId> = (0..m).map(CameraId).collect();
@@ -737,7 +704,7 @@ impl ShardedBalbSolver {
         // positional.
         let mut tasks: Vec<(&mut BalbSolver, &CameraSubset)> =
             self.solvers.values_mut().zip(subsets.iter()).collect();
-        par_map_tasks(&mut tasks, threads, |(solver, sub)| {
+        mvs_exec::pool().par_for_each_mut(&mut tasks, threads, |(solver, sub)| {
             solver.solve(&sub.problem);
         });
         let schedules: Vec<&BalbSchedule> =
@@ -897,59 +864,6 @@ fn rebalance(
         }
     }
     moves
-}
-
-/// Maps `f` over the items on up to `threads` scoped threads (contiguous
-/// chunks, joined in spawn order), returning outputs in input order. With
-/// one thread it runs inline on the caller's stack.
-fn par_map_items<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(&I) -> T + Sync,
-{
-    let n = items.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk_len = n.div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<T>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("shard solve thread panicked"))
-            .collect()
-    })
-}
-
-/// Like [`par_map_items`] but over mutable task pairs (warm solvers need
-/// `&mut` access while their subset is shared).
-fn par_map_tasks<F>(tasks: &mut [(&mut BalbSolver, &CameraSubset)], threads: usize, f: F)
-where
-    F: Fn(&mut (&mut BalbSolver, &CameraSubset)) + Sync,
-{
-    let n = tasks.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        tasks.iter_mut().for_each(f);
-        return;
-    }
-    let chunk_len = n.div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .chunks_mut(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter_mut().for_each(f)))
-            .collect();
-        for h in handles {
-            h.join().expect("shard solve thread panicked");
-        }
-    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,1099 @@
+//! Persistent deterministic executor.
+//!
+//! Every parallel site in this workspace used to pay OS-thread spawn and
+//! join costs per frame (`std::thread::scope` in the camera pool, the
+//! sharded solver, the pipelined key-frame overlap, and the experiment
+//! sweeps). This crate replaces all of them with one long-lived pool of
+//! parked worker threads and a small family of chunked fan-out primitives:
+//!
+//! - [`Executor::par_map`] / [`Executor::par_map_mut`] — contiguous-chunk
+//!   map with an index-ordered merge (drop-in for the old scoped helpers).
+//! - [`Executor::par_chunks`] / [`Executor::par_chunks_mut`] — the same
+//!   fan-out at chunk granularity, for scatter passes that keep per-worker
+//!   local state.
+//! - [`Executor::merge_as_completed`] — producers on the pool, a serial
+//!   fold on the caller *as results arrive* (the pipelined-merge shape).
+//! - [`Executor::join`] — a two-way fork for overlapping one computation
+//!   with the caller's own work.
+//! - [`Executor::par_map_queue`] — dynamic one-item-at-a-time scheduling
+//!   for sweeps whose item costs differ wildly.
+//!
+//! # Determinism contract
+//!
+//! Lane count (`lanes`) controls *where* work runs, never *what* it
+//! computes. Chunking is contiguous (`chunk_len = n.div_ceil(lanes)`),
+//! merges are index-ordered, and caller-visible effects happen in input
+//! order, so every primitive returns bitwise the same results at any lane
+//! count — including one, where it degenerates to a plain serial loop
+//! with no synchronization at all. Callers own any shared-state
+//! discipline (private RNG streams, disjoint writes); the executor only
+//! promises it will not add ordering of its own.
+//!
+//! # Pool lifecycle
+//!
+//! [`pool()`] returns the process-wide executor. Workers are spawned
+//! lazily the first time a fan-out needs them (growth is the only place
+//! this workspace creates threads) and then park on their private task
+//! channels forever — dispatching a batch costs channel sends and one
+//! condvar wait, not thread creation. A batch submitted from *inside* a
+//! pool task runs inline on that worker, so nested fan-outs can never
+//! deadlock the pool.
+//!
+//! # Panics
+//!
+//! A panicking task never kills a worker: each task runs under
+//! `catch_unwind`, payloads are collected per task, and after the whole
+//! batch has finished the lowest-index payload is resumed on the caller —
+//! the same observable behavior as joining scoped threads in spawn order,
+//! and deterministic when several lanes panic at once.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Upper bound on pool width. Lane counts are clamped to item counts at
+/// every call site, so this is a runaway backstop, not a tuning knob;
+/// batches wider than the pool round-robin over the existing workers.
+const MAX_WORKERS: usize = 64;
+
+/// Lane counts the profiler models region execution at (see
+/// [`ExecProfile::modeled_s`]).
+pub const MODELED_LANES: [usize; 4] = [1, 2, 4, 8];
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread, and on the caller
+    /// while it runs its own share of a parallel batch: code that is
+    /// already inside an executor task runs nested fan-outs inline.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+    /// Nesting depth of inline profiled regions on this thread; only the
+    /// outermost region records (inner time is already inside its task
+    /// durations, exactly as it would inline in a parallel run).
+    static REGION_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Whether the current thread is executing an executor task (worker
+/// thread, or caller running its lane of a batch). Nested executor calls
+/// made here run inline.
+fn in_executor_task() -> bool {
+    IN_TASK.with(Cell::get)
+}
+
+/// Resolves a requested thread count: `0` means auto — the `MVS_THREADS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("MVS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Work/span profile of the executor regions run while profiling was
+/// enabled (see [`Executor::profile_start`]). Benches profile a
+/// single-lane run and use the per-task durations to *model* the same
+/// run's makespan at wider lane counts — the fleet benches' established
+/// technique for gating parallel speedups on few-core CI runners.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecProfile {
+    /// Outermost executor regions recorded.
+    pub regions: u64,
+    /// Tasks (items, for inline single-lane regions) across all regions.
+    pub tasks: u64,
+    /// Total timed task work across all regions, seconds.
+    pub work_s: f64,
+    /// Modeled execution time of all regions at [`MODELED_LANES`] lanes,
+    /// seconds: per region, tasks are chunked contiguously exactly as the
+    /// executor would chunk them and the longest chunk wins. Nested
+    /// regions model as serial — in a real parallel run they inline
+    /// inside their enclosing task.
+    pub modeled_s: [f64; 4],
+}
+
+impl ExecProfile {
+    /// Modeled total region time at `lanes`, if `lanes` is one of
+    /// [`MODELED_LANES`].
+    #[must_use]
+    pub fn modeled_at(&self, lanes: usize) -> Option<f64> {
+        MODELED_LANES
+            .iter()
+            .position(|&l| l == lanes)
+            .map(|i| self.modeled_s[i])
+    }
+}
+
+/// Models the execution time of one region at `lanes`: contiguous chunks
+/// of `n.div_ceil(lanes)` tasks per lane, longest lane wins.
+fn modeled_time(durs: &[f64], lanes: usize) -> f64 {
+    let n = durs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let lanes = lanes.clamp(1, n);
+    let chunk_len = n.div_ceil(lanes);
+    durs.chunks(chunk_len)
+        .map(|c| c.iter().sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Countdown latch: the caller blocks until every submitted task of a
+/// batch has finished. `count_down` is a worker's *last* touch of any
+/// batch state, which is what makes handing borrowed task cells to
+/// persistent threads sound (see [`RawTask`]).
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        // No task code runs under this lock, so the mutex cannot poison.
+        let mut remaining = self.remaining.lock().expect("latch mutex poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            // Notify while holding the guard: the waiter cannot observe
+            // zero and free the latch before this unlock completes.
+            self.done.notify_one();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch mutex poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("latch mutex poisoned");
+        }
+    }
+}
+
+/// One task of a batch, on the submitting caller's stack: the closure to
+/// run, the panic it produced (if any), and its timed duration when the
+/// batch is profiled.
+struct TaskCell<F> {
+    f: Option<F>,
+    panic: Option<Box<dyn Any + Send>>,
+    dur_s: f64,
+    timed: bool,
+}
+
+impl<F> TaskCell<F> {
+    fn new(f: F, timed: bool) -> Self {
+        TaskCell {
+            f: Some(f),
+            panic: None,
+            dur_s: 0.0,
+            timed,
+        }
+    }
+}
+
+/// Runs a cell's closure exactly once, catching any panic into the cell.
+///
+/// # Safety
+///
+/// `data` must point to a live `TaskCell<F>` that no other thread touches
+/// until the batch's latch (or inline loop) says this call has returned.
+unsafe fn run_cell<F: FnOnce()>(data: *mut ()) {
+    let cell = unsafe { &mut *data.cast::<TaskCell<F>>() };
+    let f = cell.f.take().expect("executor task runs exactly once");
+    let started = cell.timed.then(Instant::now);
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+        cell.panic = Some(payload);
+    }
+    if let Some(s) = started {
+        cell.dur_s = s.elapsed().as_secs_f64();
+    }
+}
+
+/// A lifetime-erased task handed to a worker: a pointer to its
+/// [`TaskCell`] on the submitting caller's stack, the monomorphic
+/// trampoline that runs it, and the batch latch to count down after.
+struct RawTask {
+    data: *mut (),
+    run: unsafe fn(*mut ()),
+    latch: *const Latch,
+}
+
+// SAFETY: `RawTask` is a message, not shared state. The cell and latch it
+// points to live on the submitting thread's stack, and that thread blocks
+// on the latch until every task has counted down — the worker's accesses
+// are exclusive (one task per cell) and strictly before the caller's
+// resumption (mutex/condvar ordering), so sending the raw pointers to a
+// worker thread is sound.
+unsafe impl Send for RawTask {}
+
+fn raw_task_for<F: FnOnce()>(cell: *mut TaskCell<F>, latch: *const Latch) -> RawTask {
+    RawTask {
+        data: cell.cast(),
+        run: run_cell::<F>,
+        latch,
+    }
+}
+
+struct Worker {
+    tx: Sender<RawTask>,
+    join: Option<JoinHandle<()>>,
+}
+
+fn worker_loop(rx: &Receiver<RawTask>) {
+    IN_TASK.with(|t| t.set(true));
+    while let Ok(task) = rx.recv() {
+        // SAFETY: the submitting thread keeps the cell and latch alive
+        // until the latch opens, and `count_down` runs strictly after the
+        // cell's last write (program order here, release on the latch
+        // mutex for the caller).
+        unsafe {
+            (task.run)(task.data);
+            (*task.latch).count_down();
+        }
+    }
+}
+
+/// Restores `IN_TASK` when the caller finishes running its own lane of a
+/// batch (kept on unwind too, so a panicking lane cannot leak the flag).
+struct InTaskGuard {
+    was: bool,
+}
+
+impl InTaskGuard {
+    fn enter() -> Self {
+        let was = IN_TASK.with(|t| t.replace(true));
+        InTaskGuard { was }
+    }
+}
+
+impl Drop for InTaskGuard {
+    fn drop(&mut self) {
+        let was = self.was;
+        IN_TASK.with(|t| t.set(was));
+    }
+}
+
+/// Decrements `REGION_DEPTH` on drop (unwind-safe nesting bookkeeping).
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> Self {
+        REGION_DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        REGION_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// A persistent pool of parked worker threads. See the crate docs for the
+/// determinism contract; [`pool()`] for the process-wide instance.
+pub struct Executor {
+    workers: Mutex<Vec<Worker>>,
+    profiling: AtomicBool,
+    profile: Mutex<ExecProfile>,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker registry"));
+        for worker in workers {
+            // Dropping the sender closes the worker's channel; it drains
+            // anything already queued, then exits its loop.
+            let Worker { tx, join } = worker;
+            drop(tx);
+            if let Some(handle) = join {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Executor {
+    /// An executor with no workers yet; they are spawned lazily by the
+    /// first fan-out that needs them.
+    #[must_use]
+    pub fn new() -> Self {
+        Executor {
+            workers: Mutex::new(Vec::new()),
+            profiling: AtomicBool::new(false),
+            profile: Mutex::new(ExecProfile::default()),
+        }
+    }
+
+    /// Number of live pool workers (grows lazily; for diagnostics/tests).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.lock().expect("worker registry").len()
+    }
+
+    /// Starts recording a work/span profile of outermost executor
+    /// regions, resetting any previous one.
+    pub fn profile_start(&self) {
+        *self.profile.lock().expect("profile state") = ExecProfile::default();
+        self.profiling.store(true, Ordering::Release);
+    }
+
+    /// Stops profiling and returns the recorded profile.
+    pub fn profile_stop(&self) -> ExecProfile {
+        self.profiling.store(false, Ordering::Release);
+        std::mem::take(&mut *self.profile.lock().expect("profile state"))
+    }
+
+    /// Whether a region started here, now, should record: profiling is on
+    /// and this is an outermost region on a non-task thread.
+    fn profiled_region(&self) -> bool {
+        self.profiling.load(Ordering::Acquire)
+            && !in_executor_task()
+            && REGION_DEPTH.with(Cell::get) == 0
+    }
+
+    fn record_region(&self, durs: &[f64]) {
+        let mut p = self.profile.lock().expect("profile state");
+        p.regions += 1;
+        p.tasks += durs.len() as u64;
+        p.work_s += durs.iter().sum::<f64>();
+        for (slot, &lanes) in p.modeled_s.iter_mut().zip(MODELED_LANES.iter()) {
+            *slot += modeled_time(durs, lanes);
+        }
+    }
+
+    /// Clones senders for up to `wanted` workers, growing the pool as
+    /// needed. Growth is the only thread creation in the workspace's
+    /// runtime paths. Returns fewer (possibly zero) senders when spawning
+    /// fails — callers fall back to inline execution.
+    fn senders_for(&self, wanted: usize) -> Vec<Sender<RawTask>> {
+        let mut workers = self.workers.lock().expect("worker registry");
+        while workers.len() < wanted.min(MAX_WORKERS) {
+            let (tx, rx) = mpsc::channel();
+            let name = format!("mvs-exec-{}", workers.len());
+            match std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(&rx))
+            {
+                Ok(handle) => workers.push(Worker {
+                    tx,
+                    join: Some(handle),
+                }),
+                // Resource exhaustion: serve the batch with what exists.
+                Err(_) => break,
+            }
+        }
+        workers.iter().take(wanted).map(|w| w.tx.clone()).collect()
+    }
+
+    /// Runs a batch of same-typed tasks to completion: task 0 on the
+    /// caller, the rest round-robin over pool workers; returns after all
+    /// have finished, resuming the lowest-index panic if any task
+    /// panicked. Falls back to an in-order inline loop when the batch has
+    /// one task, the caller is itself an executor task, or no worker
+    /// could be spawned — same results by the determinism contract.
+    fn run_batch<F: FnOnce() + Send>(&self, tasks: Vec<F>, timings: Option<&mut Vec<f64>>) {
+        let k = tasks.len();
+        if k == 0 {
+            return;
+        }
+        let timed = timings.is_some();
+        let mut cells: Vec<TaskCell<F>> =
+            tasks.into_iter().map(|f| TaskCell::new(f, timed)).collect();
+        let senders = if k > 1 && !in_executor_task() {
+            self.senders_for(k - 1)
+        } else {
+            Vec::new()
+        };
+        if senders.is_empty() {
+            let _depth = DepthGuard::enter();
+            for cell in &mut cells {
+                // SAFETY: exclusive `&mut` access on this thread.
+                unsafe { run_cell::<F>(std::ptr::from_mut(cell).cast()) };
+            }
+        } else {
+            let latch = Latch::new(k - 1);
+            // Derive every pointer from the base pointer (not through
+            // element references) so the caller-side access to cell 0
+            // cannot invalidate the workers' pointers.
+            let base: *mut TaskCell<F> = cells.as_mut_ptr();
+            for i in 1..k {
+                // SAFETY: `i < k == cells.len()`; each cell is handed to
+                // exactly one worker and untouched here until the latch
+                // opens.
+                let task = raw_task_for(unsafe { base.add(i) }, &latch);
+                senders[(i - 1) % senders.len()]
+                    .send(task)
+                    .expect("pool workers outlive the executor");
+            }
+            {
+                let _in_task = InTaskGuard::enter();
+                let _depth = DepthGuard::enter();
+                // SAFETY: cell 0 was not sent to any worker.
+                unsafe { run_cell::<F>(base.cast()) };
+            }
+            latch.wait();
+        }
+        if let Some(out) = timings {
+            out.extend(cells.iter().map(|c| c.dur_s));
+        }
+        if let Some(payload) = cells.into_iter().find_map(|c| c.panic) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Maps `f` over chunk starts and contiguous chunks of `items`
+    /// (`chunk_len = n.div_ceil(lanes)`), returning per-chunk outputs in
+    /// chunk order. The chunk *structure* is a function of `lanes` alone,
+    /// so a caller-chosen lane count gives identical chunking whether the
+    /// chunks run on the pool or inline.
+    pub fn par_chunks<I, T, F>(&self, items: &[I], lanes: usize, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &[I]) -> T + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let lanes = lanes.clamp(1, n);
+        let chunk_len = n.div_ceil(lanes);
+        let profiled = self.profiled_region();
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(n.div_ceil(chunk_len), || None);
+        let mut timings = profiled.then(Vec::new);
+        {
+            let f = &f;
+            let tasks: Vec<_> = items
+                .chunks(chunk_len)
+                .zip(slots.iter_mut())
+                .enumerate()
+                .map(|(c, (chunk, slot))| move || *slot = Some(f(c * chunk_len, chunk)))
+                .collect();
+            self.run_batch(tasks, timings.as_mut());
+        }
+        if let Some(durs) = timings {
+            self.record_region(&durs);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk ran"))
+            .collect()
+    }
+
+    /// [`Executor::par_chunks`] over mutable chunks.
+    pub fn par_chunks_mut<I, T, F>(&self, items: &mut [I], lanes: usize, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, &mut [I]) -> T + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let lanes = lanes.clamp(1, n);
+        let chunk_len = n.div_ceil(lanes);
+        let profiled = self.profiled_region();
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(n.div_ceil(chunk_len), || None);
+        let mut timings = profiled.then(Vec::new);
+        {
+            let f = &f;
+            let tasks: Vec<_> = items
+                .chunks_mut(chunk_len)
+                .zip(slots.iter_mut())
+                .enumerate()
+                .map(|(c, (chunk, slot))| move || *slot = Some(f(c * chunk_len, chunk)))
+                .collect();
+            self.run_batch(tasks, timings.as_mut());
+        }
+        if let Some(durs) = timings {
+            self.record_region(&durs);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk ran"))
+            .collect()
+    }
+
+    /// Maps `f` over the items, fanning contiguous chunks out across up
+    /// to `lanes` pool workers, and returns the outputs in input order
+    /// regardless of which worker ran which chunk. With one lane (or one
+    /// item, or when called from inside an executor task) it runs inline
+    /// — same results, no synchronization.
+    pub fn par_map<I, T, F>(&self, items: &[I], lanes: usize, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let n = items.len();
+        let lanes = lanes.clamp(1, n.max(1));
+        if lanes == 1 || in_executor_task() {
+            return self.inline_map(items.iter(), n, &f);
+        }
+        self.par_chunks(items, lanes, |_, chunk| chunk.iter().map(&f).collect())
+            .into_iter()
+            .flat_map(|v: Vec<T>| v)
+            .collect()
+    }
+
+    /// [`Executor::par_map`] over `&mut` items (workers get disjoint
+    /// mutable chunks).
+    pub fn par_map_mut<I, T, F>(&self, items: &mut [I], lanes: usize, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(&mut I) -> T + Sync,
+    {
+        let n = items.len();
+        let lanes = lanes.clamp(1, n.max(1));
+        if lanes == 1 || in_executor_task() {
+            return self.inline_map(items.iter_mut(), n, &f);
+        }
+        self.par_chunks_mut(items, lanes, |_, chunk| chunk.iter_mut().map(&f).collect())
+            .into_iter()
+            .flat_map(|v: Vec<T>| v)
+            .collect()
+    }
+
+    /// [`Executor::par_map_mut`] discarding outputs.
+    pub fn par_for_each_mut<I, F>(&self, items: &mut [I], lanes: usize, f: F)
+    where
+        I: Send,
+        F: Fn(&mut I) + Sync,
+    {
+        let _: Vec<()> = self.par_map_mut(items, lanes, |it| f(it));
+    }
+
+    /// Serial in-order map with optional per-item profiling — the single
+    /// lane degenerate of every map primitive, kept as one code path so
+    /// profiled serial runs see item-granular task durations.
+    fn inline_map<It, T>(&self, items: It, n: usize, mut f: impl FnMut(It::Item) -> T) -> Vec<T>
+    where
+        It: Iterator,
+    {
+        if !self.profiled_region() {
+            return items.map(f).collect();
+        }
+        let _depth = DepthGuard::enter();
+        let mut durs = Vec::with_capacity(n);
+        let out = items
+            .map(|it| {
+                let started = Instant::now();
+                let v = f(it);
+                durs.push(started.elapsed().as_secs_f64());
+                v
+            })
+            .collect();
+        drop(_depth);
+        self.record_region(&durs);
+        out
+    }
+
+    /// Maps `f(index, &item)` over the items on the pool and folds every
+    /// output into `merge(index, output)` *on the caller, in completion
+    /// order* — the pipelined-merge shape: the fold hides behind the
+    /// still-running producers. The caller must therefore tolerate any
+    /// fold order; with one lane (or inside an executor task) the fold
+    /// runs in input order, inline.
+    pub fn merge_as_completed<I, T, F, M>(&self, items: &[I], lanes: usize, f: F, mut merge: M)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        M: FnMut(usize, T),
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let lanes = lanes.clamp(1, n);
+        if lanes == 1 || in_executor_task() {
+            let profiled = self.profiled_region();
+            if !profiled {
+                for (i, item) in items.iter().enumerate() {
+                    let out = f(i, item);
+                    merge(i, out);
+                }
+                return;
+            }
+            let mut durs = Vec::with_capacity(n);
+            {
+                let _depth = DepthGuard::enter();
+                for (i, item) in items.iter().enumerate() {
+                    let started = Instant::now();
+                    let out = f(i, item);
+                    durs.push(started.elapsed().as_secs_f64());
+                    merge(i, out);
+                }
+            }
+            self.record_region(&durs);
+            return;
+        }
+        let chunk_len = n.div_ceil(lanes);
+        let k = n.div_ceil(chunk_len);
+        let senders = self.senders_for(k);
+        if senders.is_empty() {
+            for (i, item) in items.iter().enumerate() {
+                let out = f(i, item);
+                merge(i, out);
+            }
+            return;
+        }
+        let profiled = self.profiled_region();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut cells: Vec<TaskCell<_>> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let tx = tx.clone();
+                let f = &f;
+                TaskCell::new(
+                    move || {
+                        for (off, item) in chunk.iter().enumerate() {
+                            let idx = c * chunk_len + off;
+                            let out = f(idx, item);
+                            // The receiver outlives the batch; a send only
+                            // fails if the caller is already unwinding.
+                            let _ = tx.send((idx, out));
+                        }
+                    },
+                    profiled,
+                )
+            })
+            .collect();
+        drop(tx);
+        let latch = Latch::new(k);
+        let base = cells.as_mut_ptr();
+        for (i, sender) in (0..k).map(|i| (i, &senders[i % senders.len()])) {
+            // SAFETY: `i < k == cells.len()`; each cell goes to exactly
+            // one worker and the latch keeps it alive until they finish.
+            let task = raw_task_for(unsafe { base.add(i) }, &latch);
+            sender
+                .send(task)
+                .expect("pool workers outlive the executor");
+        }
+        // Fold as results arrive; the channel closes when every producer
+        // task has dropped its sender clone (finished or unwound).
+        while let Ok((idx, out)) = rx.recv() {
+            merge(idx, out);
+        }
+        latch.wait();
+        if profiled {
+            let durs: Vec<f64> = cells.iter().map(|c| c.dur_s).collect();
+            self.record_region(&durs);
+        }
+        if let Some(payload) = cells.into_iter().find_map(|c| c.panic) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `a` on a pool worker while `b` runs on the caller, returning
+    /// both results — the two-phase overlap shape (e.g. a central solve
+    /// behind the caller's uplink encoding). Inline (and from inside an
+    /// executor task) it runs `a` then `b`, matching the sequential
+    /// order. If both panic, `a`'s payload wins deterministically.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        RA: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB,
+    {
+        let profiled = self.profiled_region();
+        let senders = if in_executor_task() {
+            Vec::new()
+        } else {
+            self.senders_for(1)
+        };
+        if senders.is_empty() {
+            if !profiled {
+                return (a(), b());
+            }
+            let _depth = DepthGuard::enter();
+            let started = Instant::now();
+            let ra = a();
+            let dur_a = started.elapsed().as_secs_f64();
+            let started = Instant::now();
+            let rb = b();
+            let dur_b = started.elapsed().as_secs_f64();
+            drop(_depth);
+            self.record_region(&[dur_a, dur_b]);
+            return (ra, rb);
+        }
+        let mut slot: Option<RA> = None;
+        let mut rb = None;
+        let mut panic_b = None;
+        let mut dur_b = 0.0;
+        {
+            let slot = &mut slot;
+            let mut cells = vec![TaskCell::new(move || *slot = Some(a()), profiled)];
+            let latch = Latch::new(1);
+            let task = raw_task_for(cells.as_mut_ptr(), &latch);
+            senders[0]
+                .send(task)
+                .expect("pool workers outlive the executor");
+            {
+                let _in_task = InTaskGuard::enter();
+                let started = profiled.then(Instant::now);
+                match catch_unwind(AssertUnwindSafe(b)) {
+                    Ok(v) => rb = Some(v),
+                    Err(payload) => panic_b = Some(payload),
+                }
+                if let Some(s) = started {
+                    dur_b = s.elapsed().as_secs_f64();
+                }
+            }
+            latch.wait();
+            if profiled {
+                self.record_region(&[cells[0].dur_s, dur_b]);
+            }
+            if let Some(payload) = cells.pop().and_then(|c| c.panic) {
+                resume_unwind(payload);
+            }
+        }
+        if let Some(payload) = panic_b {
+            resume_unwind(payload);
+        }
+        (
+            slot.expect("joined task ran to completion"),
+            rb.expect("caller closure ran to completion"),
+        )
+    }
+
+    /// Maps `f` over the items with *dynamic* scheduling: up to `lanes`
+    /// pool lanes (the caller is one of them) pull items one at a time
+    /// from a shared cursor, so wildly uneven item costs keep every lane
+    /// busy. Outputs come back in input order. Use the chunked
+    /// [`Executor::par_map`] on hot paths — this shape pays one atomic
+    /// and one mutex lock per item.
+    pub fn par_map_queue<I, T, F>(&self, items: &[I], lanes: usize, f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let n = items.len();
+        let lanes = lanes.clamp(1, n.max(1));
+        if lanes == 1 || in_executor_task() {
+            return self.inline_map(items.iter(), n, &f);
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            let tasks: Vec<_> = (0..lanes)
+                .map(|_| {
+                    move || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out = f(&items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(out);
+                    }
+                })
+                .collect();
+            self.run_batch(tasks, None);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every item was processed")
+            })
+            .collect()
+    }
+}
+
+/// The process-wide executor. Workers are spawned lazily on first use and
+/// persist for the life of the process (they park on empty channels, so
+/// an idle pool costs nothing).
+pub fn pool() -> &'static Executor {
+    static POOL: OnceLock<Executor> = OnceLock::new();
+    POOL.get_or_init(Executor::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::AtomicU64;
+
+    /// Tiny deterministic generator so determinism tests need no deps.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn par_map_is_index_ordered_at_any_lane_count() {
+        let exec = Executor::new();
+        let items: Vec<usize> = (0..7).collect();
+        let want: Vec<usize> = items.iter().map(|i| i * 10).collect();
+        for lanes in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                exec.par_map(&items, lanes, |&i| i * 10),
+                want,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_mut_results_match_serial_at_any_lane_count() {
+        // Each item owns a private generator state; the collected draws
+        // and final states must not depend on the lane count.
+        let run = |lanes: usize| -> (Vec<u64>, Vec<u64>) {
+            let exec = Executor::new();
+            let mut states: Vec<u64> = (0..5).map(|i| i as u64 * 7 + 1).collect();
+            let mut draws = Vec::new();
+            for _ in 0..3 {
+                draws.extend(exec.par_map_mut(&mut states, lanes, |s| splitmix(s)));
+            }
+            (draws, states)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(5));
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_once_with_chunk_starts() {
+        let exec = Executor::new();
+        let items: Vec<usize> = (0..11).collect();
+        for lanes in [1, 2, 4, 16] {
+            let chunks = exec.par_chunks(&items, lanes, |start, chunk| (start, chunk.to_vec()));
+            let mut seen = Vec::new();
+            for (start, chunk) in chunks {
+                assert_eq!(seen.len(), start, "chunks arrive in offset order");
+                seen.extend(chunk);
+            }
+            assert_eq!(seen, items, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_mutates_disjoint_chunks() {
+        let exec = Executor::new();
+        let mut items: Vec<usize> = (0..9).collect();
+        exec.par_for_each_mut(&mut items, 4, |i| *i += 100);
+        assert_eq!(items, (100..109).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_as_completed_folds_every_index_exactly_once() {
+        for lanes in [1, 3, 8] {
+            let exec = Executor::new();
+            let items: Vec<u64> = (0..13).collect();
+            let mut seen = BTreeSet::new();
+            let mut weighted = 0u64;
+            exec.merge_as_completed(
+                &items,
+                lanes,
+                |i, &v| v * 2 + i as u64,
+                |i, out| {
+                    assert!(seen.insert(i), "index {i} folded twice");
+                    weighted += out;
+                },
+            );
+            assert_eq!(seen.len(), items.len(), "lanes={lanes}");
+            let want: u64 = items
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * 2 + i as u64)
+                .sum();
+            assert_eq!(weighted, want, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results_and_orders_inline_a_before_b() {
+        let exec = Executor::new();
+        let log = Mutex::new(Vec::new());
+        // From inside a task (forced inline), `a` must run before `b` —
+        // the sequential order the pipelined overlap degenerates to.
+        let (_, inner) = exec.par_map(&[()], 1, |()| {
+            pool().join(
+                || log.lock().unwrap().push('a'),
+                || log.lock().unwrap().push('b'),
+            )
+        })[0];
+        let _ = inner;
+        assert_eq!(*log.lock().unwrap(), vec!['a', 'b']);
+        let (ra, rb) = exec.join(|| 6 * 7, || "right");
+        assert_eq!((ra, rb), (42, "right"));
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let exec = Executor::new();
+        let items: Vec<usize> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.par_map(&items, 4, |&i| {
+                assert!(i != 5, "boom at {i}");
+                i
+            })
+        }));
+        assert!(caught.is_err(), "panic must reach the caller");
+        // Workers caught the panic and parked again: the pool still works.
+        assert_eq!(exec.par_map(&items, 4, |&i| i + 1)[7], 8);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_when_several_lanes_panic() {
+        let exec = Executor::new();
+        let items: Vec<usize> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.par_map(&items, 8, |&i| {
+                if i % 2 == 1 {
+                    std::panic::panic_any(format!("lane {i}"));
+                }
+                i
+            })
+        }))
+        .expect_err("odd lanes panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("payload is the panicked lane's message");
+        assert_eq!(msg, "lane 1");
+    }
+
+    #[test]
+    fn nested_fan_outs_run_inline_without_deadlock() {
+        let exec = pool();
+        let items: Vec<usize> = (0..6).collect();
+        let out = exec.par_map(&items, 3, |&i| {
+            let inner: Vec<usize> = (0..4).collect();
+            // Nested call on a pool worker (or the participating caller):
+            // runs inline, same results.
+            pool()
+                .par_map(&inner, 4, |&j| j * 10 + i)
+                .iter()
+                .sum::<usize>()
+        });
+        let want: Vec<usize> = items.iter().map(|&i| 60 + 4 * i).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let exec = Executor::new();
+        let ids = |exec: &Executor| -> Vec<std::thread::ThreadId> {
+            exec.par_map(&[0usize, 1, 2, 3], 4, |_| std::thread::current().id())
+        };
+        let first = ids(&exec);
+        let second = ids(&exec);
+        assert_eq!(first, second, "same parked workers serve every batch");
+        assert_eq!(exec.workers(), 3, "caller runs lane 0; three workers");
+        // Lane 0 runs on the caller itself.
+        assert_eq!(first[0], std::thread::current().id());
+    }
+
+    #[test]
+    fn par_map_queue_preserves_input_order() {
+        let exec = Executor::new();
+        let items: Vec<usize> = (0..97).collect();
+        for lanes in [1, 4] {
+            let out = exec.par_map_queue(&items, lanes, |&i| i * 3);
+            assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        }
+        assert_eq!(
+            exec.par_map_queue(&Vec::<usize>::new(), 4, |&i| i),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn empty_and_oversized_batches_are_fine() {
+        let exec = Executor::new();
+        assert_eq!(exec.par_map(&Vec::<u8>::new(), 8, |&b| b), Vec::<u8>::new());
+        assert_eq!(exec.par_map(&[1u8], 64, |&b| b + 1), vec![2]);
+        exec.merge_as_completed(&Vec::<u8>::new(), 4, |_, &b| b, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn profile_records_outermost_regions_only() {
+        let exec = Executor::new();
+        exec.profile_start();
+        let items: Vec<u64> = (0..8).collect();
+        let out = exec.par_map(&items, 1, |&v| {
+            // Nested region: must fold into the outer task's duration,
+            // not record separately.
+            exec.par_map(&[v], 1, |&x| x + 1)[0]
+        });
+        let profile = exec.profile_stop();
+        assert_eq!(out, (1..=8).collect::<Vec<_>>());
+        assert_eq!(profile.regions, 1, "only the outermost region records");
+        assert_eq!(profile.tasks, 8);
+        // Serial model == total work; wider models can only shrink it.
+        assert!((profile.modeled_s[0] - profile.work_s).abs() < 1e-12);
+        assert!(profile.modeled_s[3] <= profile.modeled_s[0] + 1e-12);
+        // Profiling off: nothing records.
+        let _ = exec.par_map(&items, 1, |&v| v);
+        assert_eq!(exec.profile_stop(), ExecProfile::default());
+    }
+
+    #[test]
+    fn modeled_time_is_longest_contiguous_chunk() {
+        let durs = [3.0, 1.0, 1.0, 1.0];
+        assert!((modeled_time(&durs, 1) - 6.0).abs() < 1e-12);
+        // Two lanes: [3,1] vs [1,1].
+        assert!((modeled_time(&durs, 2) - 4.0).abs() < 1e-12);
+        // Four lanes: the longest single task bounds the span.
+        assert!((modeled_time(&durs, 4) - 3.0).abs() < 1e-12);
+        assert!((modeled_time(&durs, 8) - 3.0).abs() < 1e-12);
+        assert_eq!(modeled_time(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn join_overlaps_and_propagates_a_panic_first() {
+        let exec = Executor::new();
+        let ran_b = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.join(
+                || std::panic::panic_any("a failed"),
+                || ran_b.store(7, Ordering::SeqCst),
+            )
+        }))
+        .expect_err("a's panic reaches the caller");
+        assert_eq!(*caught.downcast_ref::<&str>().unwrap(), "a failed");
+        assert_eq!(ran_b.load(Ordering::SeqCst), 7, "b still ran to completion");
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -1130,20 +1130,15 @@ impl Pipeline {
                 // the cameras uploaded — the sync delay the pipelined path
                 // hides the solve behind. Sequentially: solve, then
                 // encode. Pipelined: encode on this thread while the solve
-                // runs on a scoped one; joining before the apply phase
-                // keeps every downstream effect in the sequential order,
-                // so results and traces are bitwise identical either way.
+                // runs on a pool worker; the join completes before the
+                // apply phase, keeping every downstream effect in the
+                // sequential order, so results and traces are bitwise
+                // identical either way.
                 let mut records = std::mem::take(&mut self.upload_scratch);
                 let network = &self.config.network;
                 let (outcome, uplink_phase) = if self.config.pipelined && self.threads > 1 {
-                    std::thread::scope(|scope| {
-                        let handle = scope.spawn(solve);
-                        let uplink =
-                            Self::uplink_phase_ms(&all_dets, &up, &model, network, &mut records);
-                        (
-                            handle.join().expect("central solve thread panicked"),
-                            uplink,
-                        )
+                    mvs_exec::pool().join(solve, || {
+                        Self::uplink_phase_ms(&all_dets, &up, &model, network, &mut records)
                     })
                 } else {
                     let outcome = solve();

@@ -795,8 +795,17 @@ struct LadderOutcome {
 /// scales the pilot load to the pool's current straggler factor (1.0
 /// when healthy, which leaves the arithmetic bitwise identical to an
 /// inflation-free build).
-fn run_ladder(
+///
+/// Takes the tenant's unconditional first pilot precomputed
+/// (`first_load`): that pilot is budget-independent, so admission runs it
+/// for many tenants in parallel and walks the (budget-accumulating)
+/// ladder serially afterwards — bitwise the same arithmetic in the same
+/// order as a fully serial admission. Any shed-triggered re-pilot is
+/// budget-dependent and happens here, inside the serial walk.
+#[allow(clippy::too_many_arguments)]
+fn run_ladder_from_pilot(
     pipeline: &mut TenantPipeline,
+    first_load: f64,
     horizon: usize,
     fps: f64,
     budget: f64,
@@ -804,7 +813,7 @@ fn run_ladder(
     max_keep_every: u64,
     inflation: f64,
 ) -> LadderOutcome {
-    let (mut load, _) = pilot_load(pipeline, horizon, fps);
+    let mut load = first_load;
     let mut decision = AdmissionDecision::Admitted;
     let mut keep_every = 1u64;
     let mut shed = false;
@@ -897,6 +906,11 @@ pub fn run_serve_traced(config: &ServeConfig) -> (ServeReport, Vec<Trace>) {
 pub struct ServeLoop {
     config: ServeConfig,
     traced: bool,
+    /// Resolved pool lanes for tenant-parallel phases (admission pilots,
+    /// restore, readmission rebuilds). Never snapshotted: recovery
+    /// re-derives it from the config, so a checkpoint taken at one thread
+    /// count restores identically at any other.
+    threads: usize,
     interval_us: u64,
     frames_per_tenant: u64,
     /// Checkpoint period, µs (0 = snapshotting disabled).
@@ -947,37 +961,56 @@ impl ServeLoop {
         let interval_us = (1e6 / config.fps).round() as u64;
         let frames_per_tenant = (config.duration_s * config.fps).round() as u64;
 
-        // ---- Admission: build, pilot, and place each tenant on the ladder.
+        // ---- Admission: build and pilot every tenant across the pool
+        // (deployment construction and the unconditional first pilot are
+        // budget-independent), then walk each down the ladder serially in
+        // tenant order — the budget accumulates, and any shed-triggered
+        // re-pilot happens inside that serial walk. Same arithmetic in the
+        // same order as a fully serial admission, at any thread count.
+        let threads = mvs_exec::resolve_threads(config.threads);
+        let specs: Vec<(CityConfig, PipelineConfig)> = (0..config.tenants)
+            .map(|t| {
+                let city = CityConfig {
+                    cameras: config.cameras_per_tenant,
+                    seed: config.seed + t as u64,
+                    intensity: config.intensity,
+                };
+                let pipe_config = PipelineConfig {
+                    train_s: config.train_s,
+                    seed: config.seed + t as u64,
+                    threads: config.threads,
+                    redundancy: config.redundancy,
+                    measured_overheads: false,
+                    faults: config.faults,
+                    shard_solver: config.shard_solver,
+                    pipelined: config.pipelined,
+                    ..PipelineConfig::paper_default(Algorithm::Balb)
+                };
+                (city, pipe_config)
+            })
+            .collect();
+        let horizon = specs.last().map_or(1, |(_, pc)| pc.horizon);
+        let piloted: Vec<(TenantPipeline, f64)> =
+            mvs_exec::pool().par_map(&specs, threads, |(city, pipe_config)| {
+                let mut scenario = Scenario::city(city);
+                scenario.fps = config.fps;
+                let mut pipeline = TenantPipeline::new(&scenario, pipe_config);
+                if traced {
+                    pipeline.enable_tracing();
+                }
+                let (first_load, _) = pilot_load(&mut pipeline, pipe_config.horizon, config.fps);
+                (pipeline, first_load)
+            });
+
         let mut tenants: Vec<Tenant> = Vec::with_capacity(config.tenants);
         let mut admitted_load = 0.0f64;
-        let mut horizon = 1usize;
-        for t in 0..config.tenants {
-            let city = CityConfig {
-                cameras: config.cameras_per_tenant,
-                seed: config.seed + t as u64,
-                intensity: config.intensity,
-            };
-            let mut scenario = Scenario::city(&city);
-            scenario.fps = config.fps;
-            let pipe_config = PipelineConfig {
-                train_s: config.train_s,
-                seed: config.seed + t as u64,
-                threads: config.threads,
-                redundancy: config.redundancy,
-                measured_overheads: false,
-                faults: config.faults,
-                shard_solver: config.shard_solver,
-                pipelined: config.pipelined,
-                ..PipelineConfig::paper_default(Algorithm::Balb)
-            };
-            horizon = pipe_config.horizon;
-            let mut pipeline = TenantPipeline::new(&scenario, &pipe_config);
-            if traced {
-                pipeline.enable_tracing();
-            }
+        for (t, ((city, pipe_config), (mut pipeline, first_load))) in
+            specs.into_iter().zip(piloted).enumerate()
+        {
             let budget = config.capacity_cores - admitted_load;
-            let outcome = run_ladder(
+            let outcome = run_ladder_from_pilot(
                 &mut pipeline,
+                first_load,
                 pipe_config.horizon,
                 config.fps,
                 budget,
@@ -1034,6 +1067,7 @@ impl ServeLoop {
         let mut served = ServeLoop {
             config: config.clone(),
             traced,
+            threads,
             interval_us,
             frames_per_tenant,
             snapshot_period_us,
@@ -1152,6 +1186,7 @@ impl ServeLoop {
         let mut served = ServeLoop {
             config: config.clone(),
             traced: false,
+            threads: mvs_exec::resolve_threads(config.threads),
             interval_us,
             frames_per_tenant,
             snapshot_period_us,
@@ -1445,35 +1480,55 @@ impl ServeLoop {
         self.reevaluate(TransitionReason::Quarantine);
     }
 
-    /// Re-admits every tenant whose quarantine window has expired.
+    /// Re-admits every tenant whose quarantine window has expired. The
+    /// fresh-deployment rebuilds and their budget-independent first pilots
+    /// fan out across the pool; the ladder walks stay serial in id order
+    /// (each readmission's load shrinks the next one's budget), so the
+    /// outcome is bitwise the per-id serial sequence.
     fn readmit_due(&mut self) {
-        for id in 0..self.tenants.len() {
-            if self.tenants[id]
-                .quarantined_until_us
-                .is_some_and(|q| q <= self.now_us)
-            {
-                self.readmit(id);
-            }
+        let due: Vec<usize> = (0..self.tenants.len())
+            .filter(|&id| {
+                self.tenants[id]
+                    .quarantined_until_us
+                    .is_some_and(|q| q <= self.now_us)
+            })
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        let fps = self.config.fps;
+        let traced = self.traced;
+        let tenants = &self.tenants;
+        let rebuilt: Vec<(TenantPipeline, f64)> =
+            mvs_exec::pool().par_map(&due, self.threads, |&id| {
+                let tenant = &tenants[id];
+                let mut scenario = Scenario::city(&tenant.city);
+                scenario.fps = fps;
+                let mut pipeline = TenantPipeline::new(&scenario, &tenant.pipe_config);
+                if traced {
+                    pipeline.enable_tracing();
+                }
+                let (first_load, _) = pilot_load(&mut pipeline, tenant.pipe_config.horizon, fps);
+                (pipeline, first_load)
+            });
+        for (&id, (pipeline, first_load)) in due.iter().zip(rebuilt) {
+            self.readmit(id, pipeline, first_load);
         }
     }
 
-    /// Re-admits tenant `id` after quarantine: rebuilds a fresh pipeline
-    /// (the tenant redeploys — its world restarts from scratch) and walks
-    /// it down the admission ladder against the current spare capacity.
-    fn readmit(&mut self, id: usize) {
+    /// Re-admits tenant `id` after quarantine, given its freshly rebuilt
+    /// pipeline (the tenant redeploys — its world restarts from scratch)
+    /// with the first pilot already taken: walks it down the admission
+    /// ladder against the current spare capacity.
+    fn readmit(&mut self, id: usize, mut pipeline: TenantPipeline, first_load: f64) {
         self.recovery.readmissions += 1;
         let budget = self.config.capacity_cores * self.capacity_factor - self.admitted_load;
         let inflation = self.service_inflation;
         let tenant = &mut self.tenants[id];
         tenant.quarantined_until_us = None;
-        let mut scenario = Scenario::city(&tenant.city);
-        scenario.fps = self.config.fps;
-        let mut pipeline = TenantPipeline::new(&scenario, &tenant.pipe_config);
-        if self.traced {
-            pipeline.enable_tracing();
-        }
-        let outcome = run_ladder(
+        let outcome = run_ladder_from_pilot(
             &mut pipeline,
+            first_load,
             tenant.pipe_config.horizon,
             self.config.fps,
             budget,
@@ -1588,9 +1643,18 @@ impl ServeLoop {
                 *next += self.snapshot_period_us;
             }
         }
+        // Tenant restores are independent (each replays its own private
+        // recipe against its own RNG streams), so they fan out across the
+        // pool; the shared-clock fast-forward below stays serial.
+        let fps = self.config.fps;
+        let traced = self.traced;
+        let mut pairs: Vec<(&mut Tenant, &TenantSnapshot)> =
+            self.tenants.iter_mut().zip(&snap.tenants).collect();
+        mvs_exec::pool().par_for_each_mut(&mut pairs, self.threads, |(tenant, ts)| {
+            tenant.restore(ts, fps, traced);
+        });
         let mut replayed_total = 0u64;
-        for (tenant, ts) in self.tenants.iter_mut().zip(&snap.tenants) {
-            tenant.restore(ts, self.config.fps, self.traced);
+        for tenant in self.tenants.iter_mut() {
             if tenant.decision == AdmissionDecision::Rejected {
                 continue;
             }
@@ -1782,11 +1846,63 @@ impl ServeLoop {
     }
 
     /// Assembles the final report (and per-tenant traces when tracing).
+    ///
+    /// Per-tenant finalization — trailing-skip reconciliation, pipeline
+    /// teardown ([`TenantPipeline::finish`] walks every camera series),
+    /// and latency summaries — is independent across tenants, so it fans
+    /// out on the persistent pool; only the cross-tenant folds (decision
+    /// counts, fleet totals, the pooled latency distribution) run
+    /// serially afterwards, in tenant-id order, exactly as a
+    /// single-thread pass would.
     #[allow(clippy::too_many_lines)]
     fn into_report(self) -> (ServeReport, Option<Vec<Trace>>) {
         let config = self.config;
+        let traced = self.traced;
+        let fps = config.fps;
+        let mut tenants = self.tenants;
+        let finals: Vec<(TenantReport, bool, Vec<f64>, Option<Trace>)> = mvs_exec::pool()
+            .par_map_mut(&mut tenants, self.threads, |tenant| {
+                let served = tenant.ever_served;
+                let captured = if served { tenant.next_capture } else { 0 };
+                // Account for trailing frames never consumed by the core.
+                tenant.reconcile_skips(captured);
+                let queue_dropped = tenant.lanes.first().map_or(0, IngestLane::dropped);
+                let processed = tenant.lanes.first().map_or(0, IngestLane::delivered);
+                let (recall, degradation, trace) = match tenant.pipeline.take() {
+                    Some(pipeline) => {
+                        let (result, trace) = pipeline.finish();
+                        (result.recall, result.degradation, trace)
+                    }
+                    // Quarantined at the end of the run: the pipeline (and
+                    // its recall/trace history) died with the panic.
+                    None => (
+                        0.0,
+                        DegradationCounters::default(),
+                        traced.then(|| TraceRecorder::new(fps).finish()),
+                    ),
+                };
+                let e2e_ms = std::mem::take(&mut tenant.e2e_ms);
+                let service_ms = std::mem::take(&mut tenant.service_ms);
+                let report = TenantReport {
+                    tenant: 0, // assigned in the ordered merge below
+                    decision: tenant.decision,
+                    pilot_load_cores: tenant.load_cores,
+                    captured,
+                    processed,
+                    queue_dropped,
+                    policy_skipped: tenant.policy_skipped,
+                    replayed: tenant.replayed,
+                    max_lane_depth: tenant.max_lane_depth,
+                    e2e_ms: Summary::of_lenient(&e2e_ms),
+                    service_ms: Summary::of_lenient(&service_ms),
+                    recall,
+                    degradation,
+                };
+                (report, served, e2e_ms, trace)
+            });
+        drop(tenants);
         let mut reports = Vec::with_capacity(config.tenants);
-        let mut traces = self.traced.then(Vec::new);
+        let mut traces = traced.then(Vec::new);
         let mut pooled_e2e: Vec<f64> = Vec::new();
         let mut decisions = DecisionCounts::default();
         let mut captured_total = 0u64;
@@ -1795,53 +1911,21 @@ impl ServeLoop {
         let mut skipped_total = 0u64;
         let mut replayed_total = 0u64;
         let serving_span_us = self.frames_per_tenant * self.interval_us;
-        for mut tenant in self.tenants {
-            decisions.count(tenant.decision);
-            let served = tenant.ever_served;
-            let captured = if served { tenant.next_capture } else { 0 };
-            // Account for trailing frames never consumed by the core.
-            tenant.reconcile_skips(captured);
-            let queue_dropped = tenant.lanes.first().map_or(0, IngestLane::dropped);
-            let processed = tenant.lanes.first().map_or(0, IngestLane::delivered);
-            let (recall, degradation, trace) = match tenant.pipeline {
-                Some(pipeline) => {
-                    let (result, trace) = pipeline.finish();
-                    (result.recall, result.degradation, trace)
-                }
-                // Quarantined at the end of the run: the pipeline (and
-                // its recall/trace history) died with the panic.
-                None => (
-                    0.0,
-                    DegradationCounters::default(),
-                    self.traced.then(|| TraceRecorder::new(config.fps).finish()),
-                ),
-            };
+        for (mut report, served, e2e_ms, trace) in finals {
+            decisions.count(report.decision);
             if let (Some(ts), Some(tr)) = (traces.as_mut(), trace) {
                 ts.push(tr);
             }
             if served {
-                captured_total += captured;
-                processed_total += processed;
-                dropped_total += queue_dropped;
-                skipped_total += tenant.policy_skipped;
-                replayed_total += tenant.replayed;
-                pooled_e2e.extend_from_slice(&tenant.e2e_ms);
+                captured_total += report.captured;
+                processed_total += report.processed;
+                dropped_total += report.queue_dropped;
+                skipped_total += report.policy_skipped;
+                replayed_total += report.replayed;
+                pooled_e2e.extend_from_slice(&e2e_ms);
             }
-            reports.push(TenantReport {
-                tenant: reports.len(),
-                decision: tenant.decision,
-                pilot_load_cores: tenant.load_cores,
-                captured,
-                processed,
-                queue_dropped,
-                policy_skipped: tenant.policy_skipped,
-                replayed: tenant.replayed,
-                max_lane_depth: tenant.max_lane_depth,
-                e2e_ms: Summary::of_lenient(&tenant.e2e_ms),
-                service_ms: Summary::of_lenient(&tenant.service_ms),
-                recall,
-                degradation,
-            });
+            report.tenant = reports.len();
+            reports.push(report);
         }
         let availability = if serving_span_us > 0 {
             (1.0 - self.recovery.outage_us as f64 / serving_span_us as f64).clamp(0.0, 1.0)

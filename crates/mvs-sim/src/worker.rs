@@ -1,10 +1,10 @@
-//! Per-camera execution state and the scoped-thread camera pool.
+//! Per-camera execution state and its fan-out over the persistent pool.
 //!
 //! The pipeline owns one [`CameraWorker`] per camera. A worker bundles
 //! everything a camera touches every frame — detector, tracker, shadows,
 //! distributed-stage mask, device latency profile, lag ring buffer, and a
 //! *private* deterministic RNG stream — so per-frame camera stages can run
-//! on independent threads without sharing mutable state.
+//! on independent pool threads without sharing mutable state.
 //!
 //! Determinism contract: every random draw a camera makes comes from its
 //! own ChaCha stream (`set_stream(index + 1)` over the run seed; stream 0
@@ -105,54 +105,20 @@ impl CameraWorker {
     }
 }
 
-/// Maps `f` over the workers, fanning out across up to `threads` scoped
-/// threads, and returns the outputs in camera-index order regardless of
-/// which thread ran which camera. With `threads <= 1` (or one camera) it
-/// runs inline — same code path, no spawns.
+/// Maps `f` over the workers, fanning out across up to `threads` lanes of
+/// the persistent pool ([`mvs_exec::pool`]), and returns the outputs in
+/// camera-index order regardless of which lane ran which camera. With
+/// `threads <= 1` (or one camera) it runs inline — same results, no
+/// dispatch.
 pub(crate) fn par_map<T, F>(workers: &mut [CameraWorker], threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut CameraWorker) -> T + Sync,
 {
-    let m = workers.len();
-    let threads = threads.clamp(1, m.max(1));
-    if threads == 1 {
-        return workers.iter_mut().map(&f).collect();
-    }
-    let chunk_len = m.div_ceil(threads);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workers
-            .chunks_mut(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<T>>()))
-            .collect();
-        // Joining in spawn order *is* the index-ordered merge: chunk k
-        // holds cameras [k * chunk_len, ...).
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("camera worker thread panicked"))
-            .collect()
-    })
+    mvs_exec::pool().par_map_mut(workers, threads, f)
 }
 
-/// Resolves a requested thread count: `0` means auto — the `MVS_THREADS`
-/// environment variable if set to a positive integer, otherwise the
-/// machine's available parallelism.
-pub fn resolve_threads(requested: usize) -> usize {
-    if requested > 0 {
-        return requested;
-    }
-    if let Ok(v) = std::env::var("MVS_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
+pub use mvs_exec::resolve_threads;
 
 #[cfg(test)]
 mod tests {

@@ -750,6 +750,27 @@ mod cli {
         }
 
         #[test]
+        fn serve_rejects_bad_thread_values() {
+            // The pool width must be a plain count: reject garbage,
+            // negatives, and a dangling flag rather than serving a config
+            // the user did not ask for.
+            assert!(parse(&args("serve --threads abc")).is_err());
+            assert!(parse(&args("serve --threads -1")).is_err());
+            assert!(parse(&args("serve --threads 2.5")).is_err());
+            assert!(parse(&args("serve --threads")).is_err());
+            // 0 is the documented "auto" sentinel, resolved via
+            // MVS_THREADS or the machine at serve time.
+            match parse(&args("serve --threads 0")).unwrap() {
+                Command::Serve { config, .. } => assert_eq!(config.threads, 0),
+                other => panic!("unexpected {other:?}"),
+            }
+            match parse(&args("serve --threads 8")).unwrap() {
+                Command::Serve { config, .. } => assert_eq!(config.threads, 8),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        #[test]
         fn empty_and_help() {
             assert_eq!(parse(&[]).unwrap(), Command::Help);
             assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
@@ -833,7 +854,10 @@ SERVE OPTIONS:
                        process every d-th frame, then reject) until the
                        aggregate modeled load fits
     --seed N           base seed; tenant t uses seed+t  (default 2022)
-    --threads N        worker threads, 0 = auto; results identical at any
+    --threads N        persistent-pool lanes for tenant-parallel phases
+                       (admission pilots, restores, readmissions) and each
+                       tenant's camera workers; 0 = auto (MVS_THREADS env,
+                       else the machine). Reports identical at any value.
     --redundancy N     requested owners per object      (default 1)
     --intensity X      city traffic multiplier          (default 1.0)
     --train-s S        association training seconds     (default 20)
